@@ -1,0 +1,71 @@
+"""E3 — §1 comparison: ours vs bitwise consensus vs Fitzi-Hirt.
+
+Paper claims: the naive bitwise approach costs ``Ω(n²L)``; Fitzi-Hirt
+achieve ``O(nL + n³(n+κ))`` but with error probability; the paper's
+algorithm achieves the same ``O(nL)`` leading term error-free.
+
+We measure all three on the same inputs across an L sweep.  Expected
+shape: bitwise is worst everywhere and grows ~n²/3n ≈ n/3 times faster;
+ours and Fitzi-Hirt converge to the same leading term (ours pays an extra
+O(√L) for error-freedom).
+"""
+
+import pytest
+
+from benchmarks._common import once, print_table
+from repro import ConsensusConfig, MultiValuedConsensus
+from repro.baselines import BitwiseConsensus, FitziHirtConsensus
+
+N, T, KAPPA = 7, 2, 16
+SWEEP = [2**10, 2**13, 2**16]
+
+
+def run_comparison():
+    rows = []
+    for l_bits in SWEEP:
+        value = (1 << l_bits) - 1
+        inputs = [value] * N
+
+        config = ConsensusConfig.create(n=N, t=T, l_bits=l_bits)
+        ours = MultiValuedConsensus(config).run(inputs)
+        assert ours.error_free
+
+        bitwise = BitwiseConsensus(n=N, t=T, l_bits=l_bits).run(inputs)
+        assert bitwise.error_free
+
+        fh = FitziHirtConsensus(n=N, t=T, l_bits=l_bits, kappa=KAPPA).run(
+            inputs
+        )
+        assert not fh.erred
+
+        rows.append(
+            (
+                l_bits,
+                ours.total_bits,
+                bitwise.total_bits,
+                fh.total_bits,
+                "%.1f" % (bitwise.total_bits / ours.total_bits),
+                "%.2f" % (ours.total_bits / fh.total_bits),
+            )
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="E3")
+def test_e3_baseline_comparison(benchmark):
+    rows = once(benchmark, run_comparison)
+    print_table(
+        "E3  ours vs bitwise vs Fitzi-Hirt (n=%d, t=%d, kappa=%d)"
+        % (N, T, KAPPA),
+        ("L", "ours", "bitwise", "fitzi-hirt", "bitwise/ours", "ours/fh"),
+        rows,
+    )
+    # Shape: ours beats bitwise at every L, by a growing factor.
+    factors = [float(row[4]) for row in rows]
+    assert all(f > 1 for f in factors)
+    assert factors == sorted(factors)
+    # Ours approaches Fitzi-Hirt from above (the error-freedom premium
+    # vanishes as L grows).
+    premiums = [float(row[5]) for row in rows]
+    assert premiums == sorted(premiums, reverse=True)
+    assert premiums[-1] < 2.0

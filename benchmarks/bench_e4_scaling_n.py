@@ -1,0 +1,82 @@
+"""E4 — linearity in n: "for large L the complexity is linear in the
+number of processors" (the paper's headline claim, §1).
+
+The claim has a regime: L must be Ω(n⁶) before the ``O(n⁴√L + n⁶)``
+overhead washes out.  We therefore split it:
+
+* **data path** — the bits that actually scale with L (matching-stage
+  symbols) cost exactly ``n(n-1)/(n-2t)`` per value bit ≈ ``3(n-1)``:
+  linear in n, measured exactly at a moderate L;
+* **totals** — measured totals at the same L (overhead-dominated for
+  large n), next to the analytic Eq. (2) per-bit at ``L = n⁶``, which
+  converges to the linear asymptote as the paper states.
+"""
+
+import pytest
+
+from benchmarks._common import once, print_table
+from repro import ConsensusConfig, MultiValuedConsensus
+from repro.analysis.complexity import (
+    consensus_total_bits_optimal,
+    leading_term_per_bit,
+)
+from repro.broadcast_bit.ideal import default_b
+
+L_BITS = 2**15
+NS = [4, 7, 10, 13]
+
+
+def run_scaling():
+    rows = []
+    for n in NS:
+        t = (n - 1) // 3
+        config = ConsensusConfig.create(n=n, t=t, l_bits=L_BITS)
+        value = (1 << L_BITS) - 1
+        result = MultiValuedConsensus(config).run([value] * n)
+        assert result.error_free
+        data_bits = sum(
+            bits
+            for tag, bits in result.meter.bits_by_tag.items()
+            if tag.endswith("matching.symbols")
+        )
+        padded = config.generations * config.d_bits
+        asymptote = leading_term_per_bit(n, t)
+        large_l = float(n) ** 6
+        analytic_per_bit = consensus_total_bits_optimal(
+            n, t, large_l, default_b(n)
+        ) / large_l
+        rows.append(
+            (
+                n,
+                t,
+                "%.2f" % (data_bits / padded),
+                "%.2f" % asymptote,
+                "%.2f" % (result.total_bits / L_BITS),
+                "%.2f" % analytic_per_bit,
+                "%.2f" % (analytic_per_bit / asymptote),
+            )
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="E4")
+def test_e4_scaling_in_n(benchmark):
+    rows = once(benchmark, run_scaling)
+    print_table(
+        "E4  per-bit cost vs n (measured at L=%d; analytic Eq.(2) at "
+        "L=n^6; asymptote n(n-1)/(n-2t) ~ 3(n-1))" % L_BITS,
+        ("n", "t", "data bits/bit", "asymptote", "total bits/bit@L",
+         "Eq2 bits/bit@n^6", "Eq2/asymptote"),
+        rows,
+    )
+    for row in rows:
+        n, t = row[0], row[1]
+        # The data path is *exactly* the linear asymptote.
+        assert float(row[2]) == pytest.approx(float(row[3]), abs=0.01)
+        # At L = n^6 the total per-bit cost is within a constant factor of
+        # the linear asymptote -- complexity linear in n, as claimed.
+        assert float(row[6]) < 5.0
+    # The convergence factor does not blow up with n (linearity, not a
+    # hidden higher power).
+    factors = [float(row[6]) for row in rows]
+    assert max(factors) / min(factors) < 3.0

@@ -1,0 +1,80 @@
+"""E8 — §4: tolerating ``t >= n/3`` with a probabilistic 1-bit broadcast.
+
+Paper claim: substituting Broadcast_Single_Bit with a probabilistically
+correct broadcast tolerates the substitute's fault bound, errs only when
+the substitute errs, and changes only the sub-linear-in-L complexity term.
+
+We run n=7, t=3 (impossible error-free) over Dolev-Strong with simulated
+pseudo-signatures, sweeping the security parameter κ, and record: runs
+erred, forgeries succeeded, broadcast disagreements, and the data-path
+leading term (which must stay the same as the error-free algorithm's).
+"""
+
+import pytest
+
+from benchmarks._common import once, print_table
+from repro import ConsensusConfig, MultiValuedConsensus
+from repro.broadcast_bit import BernoulliForgingAdversary
+
+N, T, L_BITS = 7, 3, 64
+RUNS = 12
+KAPPAS = [2, 4, 8, 16]
+
+
+def run_kappa_sweep():
+    rows = []
+    for kappa in KAPPAS:
+        errors = 0
+        forgeries = 0
+        disagreements = 0
+        data_bits = 0
+        for seed in range(RUNS):
+            config = ConsensusConfig.create(
+                n=N, t=T, l_bits=L_BITS, backend="dolev_strong",
+                allow_t_ge_n3=True, kappa=kappa,
+            )
+            adversary = BernoulliForgingAdversary(
+                faulty=[4, 5, 6], kappa=kappa, seed=seed
+            )
+            protocol = MultiValuedConsensus(config, adversary=adversary)
+            result = protocol.run([0xFACE] * N)
+            if not (result.consistent and result.valid):
+                errors += 1
+                # The paper: errors can only come from broadcast failures.
+                assert protocol.backend.stats.disagreements > 0
+            forgeries += adversary.forgeries_succeeded
+            disagreements += protocol.backend.stats.disagreements
+            data_bits += sum(
+                bits
+                for tag, bits in result.meter.bits_by_tag.items()
+                if tag.endswith("matching.symbols")
+            )
+        rows.append(
+            (
+                kappa,
+                "%d/%d" % (errors, RUNS),
+                forgeries,
+                disagreements,
+                data_bits // RUNS,
+            )
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="E8")
+def test_e8_beyond_n3(benchmark):
+    rows = once(benchmark, run_kappa_sweep)
+    print_table(
+        "E8  t=3 >= n/3=7/3 via Dolev-Strong pseudo-signatures "
+        "(%d runs per kappa)" % RUNS,
+        ("kappa", "runs erred", "forgeries", "bsb disagreements",
+         "avg data-path bits"),
+        rows,
+    )
+    # Forgeries (and hence error opportunities) vanish as kappa grows.
+    forgeries = [row[2] for row in rows]
+    assert forgeries[-1] == 0
+    assert forgeries[0] >= forgeries[-1]
+    # The data path is independent of the broadcast substitution.
+    data_paths = {row[4] for row in rows}
+    assert len(data_paths) == 1

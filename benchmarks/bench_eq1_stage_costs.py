@@ -1,0 +1,86 @@
+"""E1 — Equation (1): per-stage communication costs.
+
+Paper claim (§3.4): per generation, the matching stage costs
+``n(n-1)/(n-2t) D + n(n-1) B`` bits, the checking stage ``t B`` bits, and
+each diagnosis stage ``(n-t)/(n-2t) D B + n(n-t) B`` bits.
+
+We run single generations under the accounted-ideal broadcast
+(``B = 2n²``), meter every stage tag, and reconcile measured bits against
+the formulas.  Matching/checking must match exactly in the failure-free
+run; diagnosis must match exactly in a run where one faulty processor
+forces it.
+"""
+
+import pytest
+
+from benchmarks._common import once, print_table
+from repro import ConsensusConfig, MultiValuedConsensus
+from repro.analysis.complexity import (
+    checking_stage_bits,
+    diagnosis_stage_bits,
+    matching_stage_bits,
+)
+from repro.broadcast_bit.ideal import default_b
+from repro.processors import SlowBleedAdversary
+
+N, T = 7, 2
+D_BITS = 3 * 16  # one 16-bit symbol per data position
+L_BITS = D_BITS  # exactly one generation
+
+
+def run_failure_free():
+    config = ConsensusConfig.create(n=N, t=T, l_bits=L_BITS, d_bits=D_BITS)
+    result = MultiValuedConsensus(config).run([0xBEEF] * N)
+    assert result.error_free
+    return result
+
+
+def run_with_diagnosis():
+    config = ConsensusConfig.create(n=N, t=T, l_bits=L_BITS, d_bits=D_BITS)
+    adversary = SlowBleedAdversary(faulty=[0])
+    result = MultiValuedConsensus(config, adversary=adversary).run([0xBEEF] * N)
+    assert result.error_free
+    assert result.diagnosis_count == 1
+    return result
+
+
+@pytest.mark.benchmark(group="E1")
+def test_eq1_stage_costs(benchmark):
+    clean = once(benchmark, run_failure_free)
+    dirty = run_with_diagnosis()
+
+    b = default_b(N)
+    measured = {
+        "matching": clean.meter.bits_with_prefix("gen0.matching"),
+        "checking": clean.meter.bits_with_prefix("gen0.checking"),
+        "diagnosis": dirty.meter.bits_with_prefix("gen0.diagnosis"),
+    }
+    analytic = {
+        "matching": matching_stage_bits(N, T, D_BITS, b),
+        "checking": checking_stage_bits(N, T, b),
+        "diagnosis": diagnosis_stage_bits(N, T, D_BITS, b),
+    }
+
+    rows = []
+    for stage in ("matching", "checking", "diagnosis"):
+        rows.append(
+            (
+                stage,
+                measured[stage],
+                int(analytic[stage]),
+                "%.4f" % (measured[stage] / analytic[stage]),
+            )
+        )
+    print_table(
+        "E1  Eq. (1) per-stage bits (n=%d, t=%d, D=%d, B=%d)"
+        % (N, T, D_BITS, b),
+        ("stage", "measured", "analytic", "ratio"),
+        rows,
+    )
+
+    # Matching and checking are exact; diagnosis matches the formula
+    # exactly too (n-t symbol broadcasts of D/(n-2t) bits + n trust
+    # vectors of n-t bits, all through B-bit broadcast instances).
+    assert measured["matching"] == analytic["matching"]
+    assert measured["checking"] == analytic["checking"]
+    assert measured["diagnosis"] == analytic["diagnosis"]

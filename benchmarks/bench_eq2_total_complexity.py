@@ -1,0 +1,71 @@
+"""E2 — Equations (2)/(3): total complexity with the optimal D.
+
+Paper claims: with ``D* = sqrt((n²-n+t)(n-2t)L / (t(t+1)(n-t)))`` the total
+is ``n(n-1)/(n-2t) L + O(n⁴ L^0.5 + n⁶)`` (Eq. 3), so the per-input-bit
+cost approaches the leading term ``n(n-1)/(n-2t)`` as L grows.
+
+We sweep L, run the full algorithm failure-free (the worst-case diagnosis
+term is an upper bound the adversary may not realise), and report measured
+total bits against Eq. (1) without the diagnosis term, plus the per-bit
+trend against the asymptote.
+"""
+
+import pytest
+
+from benchmarks._common import once, print_table
+from repro import ConsensusConfig, MultiValuedConsensus
+from repro.analysis.complexity import (
+    checking_stage_bits,
+    leading_term_per_bit,
+    matching_stage_bits,
+)
+from repro.broadcast_bit.ideal import default_b
+
+N, T = 7, 2
+SWEEP = [2**10, 2**13, 2**16, 2**19, 2**21]
+
+
+def run_sweep():
+    rows = []
+    b = default_b(N)
+    for l_bits in SWEEP:
+        config = ConsensusConfig.create(n=N, t=T, l_bits=l_bits)
+        result = MultiValuedConsensus(config).run([(1 << l_bits) - 1] * N)
+        assert result.error_free
+        generations = config.generations
+        analytic = generations * (
+            matching_stage_bits(N, T, config.d_bits, b)
+            + checking_stage_bits(N, T, b)
+        )
+        rows.append(
+            (
+                l_bits,
+                config.d_bits,
+                generations,
+                result.total_bits,
+                int(analytic),
+                "%.4f" % (result.total_bits / analytic),
+                "%.2f" % (result.total_bits / l_bits),
+            )
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="E2")
+def test_eq2_total_complexity(benchmark):
+    rows = once(benchmark, run_sweep)
+    asymptote = leading_term_per_bit(N, T)
+    print_table(
+        "E2  total bits with paper-optimal D (n=%d, t=%d; asymptote "
+        "%.2f bits/bit)" % (N, T, asymptote),
+        ("L", "D", "gens", "measured", "analytic", "ratio", "bits/bit"),
+        rows,
+    )
+    # Measured == analytic (failure-free Eq. (1)) for every L.
+    for row in rows:
+        assert row[3] == row[4]
+    # Per-bit cost decreases monotonically towards the asymptote.
+    per_bit = [float(row[6]) for row in rows]
+    assert per_bit == sorted(per_bit, reverse=True)
+    assert per_bit[-1] < 2.0 * asymptote
+    assert per_bit[-1] > asymptote

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Complexity survey: measured sweeps rendered as terminal charts.
+
+Uses the library's sweep drivers to regenerate the paper's two central
+trends from live protocol runs (not formulas):
+
+* per-input-bit cost vs L — decays toward ``n(n-1)/(n-2t)`` (Eq. 3);
+* total cost vs n at fixed L — the data path grows linearly in n.
+
+Usage::
+
+    python examples/complexity_survey.py
+"""
+
+from repro.analysis import ascii_plot, format_table, sweep_l, sweep_n
+
+
+def main() -> None:
+    n, t = 7, 2
+    l_values = [1 << e for e in range(9, 18, 2)]
+    points = sweep_l(n, t, l_values)
+
+    rows = [
+        (
+            point.l_bits,
+            point.d_bits,
+            point.total_bits,
+            "%.2f" % point.per_bit,
+            "%.3f" % point.ratio_to_asymptote,
+        )
+        for point in points
+    ]
+    print(
+        format_table(
+            ("L", "D", "total bits", "bits/bit", "vs asymptote"), rows
+        )
+    )
+    print()
+    print(
+        ascii_plot(
+            [(point.l_bits, point.per_bit) for point in points],
+            logx=True,
+            title="per-input-bit cost vs L (n=%d, t=%d; floor = %.1f)"
+            % (n, t, points[0].asymptote),
+        )
+    )
+
+    print()
+    n_points = sweep_n([4, 7, 10, 13], l_bits=4096)
+    print(
+        ascii_plot(
+            [(point.n, point.total_bits) for point in n_points],
+            title="total bits vs n at L=4096 (linear-ish in n for the "
+            "data path)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

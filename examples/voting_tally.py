@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Electronic voting: authorities agree on the full ballot set.
+
+The paper (after Fitzi-Hirt) cites voting as a motivating workload: "the
+authorities must agree on the set of all ballots to be tallied (which can
+be gigabytes of data)".  This example runs a scaled-down election: 10
+authorities, 3 of them Byzantine, agreeing on a serialized batch of
+ballots, and contrasts the error-free algorithm with the Fitzi-Hirt
+baseline under a hash-collision attack on the ballot encoding.
+
+Usage::
+
+    python examples/voting_tally.py
+"""
+
+import json
+
+from repro import ConsensusConfig, MultiValuedConsensus
+from repro.baselines import FitziHirtConsensus, PolynomialHash, collision_for
+
+
+def serialize_ballots(ballots) -> int:
+    blob = json.dumps(ballots, sort_keys=True).encode()
+    return int.from_bytes(blob, "big"), 8 * len(blob)
+
+
+def main() -> None:
+    n, t = 10, 3
+    ballots = [
+        {"voter": "v%04d" % i, "choice": ["yes", "no", "abstain"][i % 3]}
+        for i in range(64)
+    ]
+    value, l_bits = serialize_ballots(ballots)
+    print("ballot batch: %d ballots, %d bits serialized" % (len(ballots), l_bits))
+
+    # --- error-free consensus commits the batch ---------------------------------
+    config = ConsensusConfig.create(n=n, t=t, l_bits=l_bits)
+    result = MultiValuedConsensus(config).run([value] * n)
+    assert result.consistent and result.value == value
+    print(
+        "error-free consensus: committed identical batch at all %d honest "
+        "authorities (%d bits on the wire)" % (n - t, result.total_bits)
+    )
+
+    # --- the Fitzi-Hirt failure mode -----------------------------------------------
+    # Two honest factions end up with byte-identical-looking but different
+    # ballot encodings that collide under the session hash key.  Fitzi-Hirt
+    # concludes "all equal" and the authorities commit DIFFERENT batches.
+    kappa = 12
+    fh = FitziHirtConsensus(n=n, t=t, l_bits=l_bits, kappa=kappa, key_seed=7)
+    key = fh.draw_key()
+    family = PolynomialHash(l_bits, kappa)
+    tampered = collision_for(family, value, key)
+    inputs = [value] * 6 + [tampered] * 4  # honest authorities split
+    fh_result = fh.run(inputs)
+    print()
+    print("Fitzi-Hirt under a digest collision (kappa=%d):" % kappa)
+    print("  digests equal: %s" % (
+        family.digest(value, key) == family.digest(tampered, key)
+    ))
+    print("  consistent: %s  -> erred: %s" % (
+        fh_result.consistent, fh_result.erred
+    ))
+
+    ours = MultiValuedConsensus(
+        ConsensusConfig.create(n=n, t=t, l_bits=l_bits)
+    ).run(inputs)
+    print("error-free algorithm on the same inputs:")
+    print("  consistent: %s, default used: %s (differing inputs detected)"
+          % (ours.consistent, ours.default_used))
+    assert ours.error_free
+
+
+if __name__ == "__main__":
+    main()

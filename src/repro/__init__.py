@@ -1,0 +1,48 @@
+"""repro — full reproduction of "Error-Free Multi-Valued Consensus with
+Byzantine Failures" (Guanfeng Liang and Nitin Vaidya, PODC 2011).
+
+The package implements the paper's deterministic, error-free multi-valued
+Byzantine consensus algorithm together with every substrate it depends on
+(Reed-Solomon coding over GF(2^c), a synchronous metered network,
+error-free 1-bit Byzantine broadcast, the diagnosis graph), the §4
+multi-valued broadcast and the ``t >= n/3`` probabilistic variant, plus
+the baselines the paper compares against (bitwise consensus, Fitzi-Hirt
+2006) and the closed-form complexity models of §3.4.
+
+Quickstart::
+
+    from repro import ConsensusConfig, MultiValuedConsensus
+
+    config = ConsensusConfig.create(n=7, t=2, l_bits=128)
+    result = MultiValuedConsensus(config).run([42] * 7)
+    assert result.consistent and result.value == 42
+"""
+
+from repro.core import (
+    BroadcastResult,
+    ConsensusConfig,
+    ConsensusResult,
+    GenerationOutcome,
+    GenerationProtocol,
+    GenerationResult,
+    MultiValuedBroadcast,
+    MultiValuedConsensus,
+    ProtocolInvariantError,
+)
+from repro.processors import Adversary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConsensusConfig",
+    "MultiValuedConsensus",
+    "MultiValuedBroadcast",
+    "GenerationProtocol",
+    "ConsensusResult",
+    "GenerationResult",
+    "GenerationOutcome",
+    "BroadcastResult",
+    "ProtocolInvariantError",
+    "Adversary",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Closed-form communication-complexity models from the paper.
+
+Everything the paper's evaluation claims (Eq. (1)-(3), §3.4; the §4
+broadcast bound; the comparisons of §1) is reproduced here as explicit
+formulas, so benchmarks can reconcile measured bit counts against the
+analytic predictions.
+"""
+
+from repro.analysis.plotting import ascii_plot
+from repro.analysis.report import consensus_report, format_table
+from repro.analysis.sweeps import SweepPoint, sweep_l, sweep_n
+from repro.analysis.complexity import (
+    bitwise_baseline_bits,
+    broadcast_total_bits,
+    checking_stage_bits,
+    consensus_total_bits,
+    consensus_total_bits_optimal,
+    crossover_vs_bitwise,
+    diagnosis_stage_bits,
+    fitzi_hirt_bits,
+    leading_term_per_bit,
+    matching_stage_bits,
+    optimal_d,
+    optimal_d_feasible,
+)
+
+__all__ = [
+    "ascii_plot",
+    "consensus_report",
+    "format_table",
+    "SweepPoint",
+    "sweep_l",
+    "sweep_n",
+    "matching_stage_bits",
+    "checking_stage_bits",
+    "diagnosis_stage_bits",
+    "consensus_total_bits",
+    "consensus_total_bits_optimal",
+    "optimal_d",
+    "optimal_d_feasible",
+    "leading_term_per_bit",
+    "bitwise_baseline_bits",
+    "fitzi_hirt_bits",
+    "broadcast_total_bits",
+    "crossover_vs_bitwise",
+]

@@ -1,0 +1,83 @@
+"""Dependency-free ASCII charts for sweep results.
+
+The CLI and examples render communication-complexity trends directly in
+the terminal; nothing here affects measurements.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+def ascii_plot(
+    points: Sequence[Tuple[float, float]],
+    width: int = 60,
+    height: int = 16,
+    logx: bool = False,
+    logy: bool = False,
+    title: str = "",
+    marker: str = "*",
+) -> str:
+    """Scatter-plot ``(x, y)`` points on a character grid.
+
+    Log axes are useful for the paper's sweeps (L spans decades).  Returns
+    a multi-line string; callers print it.
+    """
+    if not points:
+        return "(no data)"
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small: %dx%d" % (width, height))
+
+    def tx(value: float) -> float:
+        if logx:
+            if value <= 0:
+                raise ValueError("log x-axis requires positive values")
+            return math.log10(value)
+        return value
+
+    def ty(value: float) -> float:
+        if logy:
+            if value <= 0:
+                raise ValueError("log y-axis requires positive values")
+            return math.log10(value)
+        return value
+
+    xs = [tx(x) for x, _ in points]
+    ys = [ty(y) for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid: List[List[str]] = [
+        [" "] * width for _ in range(height)
+    ]
+    for x, y in zip(xs, ys):
+        col = int(round((x - x_low) / x_span * (width - 1)))
+        row = int(round((y - y_low) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = "%.3g" % (10 ** y_high if logy else y_high)
+    y_bottom = "%.3g" % (10 ** y_low if logy else y_low)
+    label_width = max(len(y_top), len(y_bottom))
+    for index, row_cells in enumerate(grid):
+        if index == 0:
+            label = y_top.rjust(label_width)
+        elif index == height - 1:
+            label = y_bottom.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append("%s |%s" % (label, "".join(row_cells)))
+    lines.append("%s +%s" % (" " * label_width, "-" * width))
+    x_left = "%.3g" % (10 ** x_low if logx else x_low)
+    x_right = "%.3g" % (10 ** x_high if logx else x_high)
+    padding = width - len(x_left) - len(x_right)
+    lines.append(
+        "%s  %s%s%s"
+        % (" " * label_width, x_left, " " * max(1, padding), x_right)
+    )
+    return "\n".join(lines)

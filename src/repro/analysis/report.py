@@ -1,0 +1,147 @@
+"""Human-readable reports over finished runs.
+
+A :class:`~repro.core.result.ConsensusResult` carries everything needed to
+audit a run — per-generation outcomes, the bit meter, diagnosis events.
+These helpers render that into the fixed-width reports used by the CLI
+and the benchmark harness, and reconcile measured bits against the
+Eq. (1) predictions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.complexity import (
+    checking_stage_bits,
+    diagnosis_stage_bits,
+    matching_stage_bits,
+)
+from repro.core.config import ConsensusConfig
+from repro.core.result import ConsensusResult, GenerationOutcome
+
+
+def format_table(
+    header: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Fixed-width text table (no external dependencies)."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    headers = [str(cell) for cell in header]
+    widths = [
+        max([len(headers[i])] + [len(row[i]) for row in str_rows])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(headers[i].rjust(widths[i]) for i in range(len(headers)))
+    ]
+    lines.append("-" * len(lines[0]))
+    for row in str_rows:
+        lines.append(
+            "  ".join(row[i].rjust(widths[i]) for i in range(len(row)))
+        )
+    return "\n".join(lines)
+
+
+def generation_rows(result: ConsensusResult) -> List[Tuple]:
+    """One row per generation: outcome, match set, diagnosis details."""
+    rows = []
+    for record in result.generation_results:
+        rows.append(
+            (
+                record.generation,
+                record.outcome.value,
+                "-" if record.p_match is None else len(record.p_match),
+                len(record.removed_edges),
+                ",".join(str(p) for p in record.isolated) or "-",
+            )
+        )
+    return rows
+
+
+def stage_rows(
+    result: ConsensusResult, config: ConsensusConfig
+) -> List[Tuple]:
+    """Measured bits per stage vs the Eq. (1) prediction.
+
+    Predictions use the configured backend's analytic ``B``; matching and
+    checking are per-generation (multiplied by generations actually run),
+    diagnosis by the number of diagnosis stages performed.
+    """
+    from repro.processors import Adversary
+    from repro.network.metrics import BitMeter
+
+    backend = config.make_backend(BitMeter(), Adversary(), None)
+    b = backend.bits_per_instance()
+    generations_run = len(result.generation_results)
+    full_generations = sum(
+        1
+        for record in result.generation_results
+        if record.outcome is not GenerationOutcome.NO_MATCH_DEFAULT
+    )
+
+    def measured(suffix: str) -> int:
+        return sum(
+            bits
+            for tag, bits in result.meter.bits_by_tag.items()
+            if ".%s" % suffix in tag
+        )
+
+    rows = []
+    rows.append(
+        (
+            "matching",
+            measured("matching"),
+            int(matching_stage_bits(config.n, config.t, config.d_bits, b))
+            * generations_run,
+        )
+    )
+    rows.append(
+        (
+            "checking",
+            measured("checking"),
+            int(checking_stage_bits(config.n, config.t, b))
+            * full_generations,
+        )
+    )
+    rows.append(
+        (
+            "diagnosis",
+            measured("diagnosis"),
+            int(diagnosis_stage_bits(config.n, config.t, config.d_bits, b))
+            * result.diagnosis_count,
+        )
+    )
+    return rows
+
+
+def consensus_report(
+    result: ConsensusResult, config: Optional[ConsensusConfig] = None
+) -> str:
+    """Render a complete post-run report."""
+    lines = []
+    lines.append("consensus run report")
+    lines.append("====================")
+    lines.append("consistent : %s" % result.consistent)
+    lines.append("valid      : %s" % result.valid)
+    if result.value is not None:
+        lines.append("value      : %#x" % result.value)
+    lines.append("default    : %s" % result.default_used)
+    lines.append("diagnoses  : %d" % result.diagnosis_count)
+    lines.append("total bits : %d" % result.total_bits)
+    lines.append("")
+    lines.append("per-generation outcomes:")
+    lines.append(
+        format_table(
+            ("gen", "outcome", "|P_match|", "edges removed", "isolated"),
+            generation_rows(result),
+        )
+    )
+    if config is not None:
+        lines.append("")
+        lines.append("measured vs Eq. (1) worst-case prediction:")
+        lines.append(
+            format_table(
+                ("stage", "measured", "predicted (upper bound)"),
+                stage_rows(result, config),
+            )
+        )
+    return "\n".join(lines)

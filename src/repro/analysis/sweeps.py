@@ -1,0 +1,100 @@
+"""Parameter-sweep drivers shared by the CLI and the benchmark harness.
+
+Each sweep runs the real protocol (never just the formulas), collects
+exact bit counts, and returns plain dataclass rows, so callers can print,
+plot or assert over them without re-running simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.analysis.complexity import (
+    checking_stage_bits,
+    leading_term_per_bit,
+    matching_stage_bits,
+)
+from repro.broadcast_bit.ideal import default_b
+from repro.core.config import ConsensusConfig
+from repro.core.consensus import MultiValuedConsensus
+from repro.processors.adversary import Adversary
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measured point of an L- or n-sweep."""
+
+    n: int
+    t: int
+    l_bits: int
+    d_bits: int
+    generations: int
+    total_bits: int
+    analytic_bits: float
+    per_bit: float
+    asymptote: float
+
+    @property
+    def ratio_to_analytic(self) -> float:
+        return self.total_bits / self.analytic_bits
+
+    @property
+    def ratio_to_asymptote(self) -> float:
+        return self.per_bit / self.asymptote
+
+
+def _run_point(
+    n: int,
+    t: int,
+    l_bits: int,
+    adversary_factory: Optional[Callable[[], Adversary]],
+) -> SweepPoint:
+    config = ConsensusConfig.create(n=n, t=t, l_bits=l_bits)
+    adversary = adversary_factory() if adversary_factory else Adversary()
+    result = MultiValuedConsensus(config, adversary=adversary).run(
+        [(1 << l_bits) - 1] * n
+    )
+    if not (result.consistent and result.valid):
+        raise AssertionError(
+            "sweep point n=%d t=%d L=%d produced an inconsistent run"
+            % (n, t, l_bits)
+        )
+    b = default_b(n)
+    analytic = config.generations * (
+        matching_stage_bits(n, t, config.d_bits, b)
+        + checking_stage_bits(n, t, b)
+    )
+    return SweepPoint(
+        n=n,
+        t=t,
+        l_bits=l_bits,
+        d_bits=config.d_bits,
+        generations=config.generations,
+        total_bits=result.total_bits,
+        analytic_bits=analytic,
+        per_bit=result.total_bits / l_bits,
+        asymptote=leading_term_per_bit(n, t),
+    )
+
+
+def sweep_l(
+    n: int,
+    t: int,
+    l_values: Sequence[int],
+    adversary_factory: Optional[Callable[[], Adversary]] = None,
+) -> List[SweepPoint]:
+    """Measure total complexity across message lengths."""
+    return [_run_point(n, t, l, adversary_factory) for l in l_values]
+
+
+def sweep_n(
+    n_values: Sequence[int],
+    l_bits: int,
+    adversary_factory: Optional[Callable[[], Adversary]] = None,
+) -> List[SweepPoint]:
+    """Measure total complexity across network sizes (t = ⌊(n-1)/3⌋)."""
+    return [
+        _run_point(n, (n - 1) // 3, l_bits, adversary_factory)
+        for n in n_values
+    ]

@@ -1,0 +1,30 @@
+"""Baselines the paper compares against (§1).
+
+* :mod:`repro.baselines.bitwise` — the naive approach: ``L`` independent
+  instances of 1-bit Byzantine consensus, ``Ω(n²L)`` bits.
+* :mod:`repro.baselines.fitzi_hirt` — our reconstruction of the
+  probabilistically-correct multi-valued consensus of Fitzi and Hirt
+  (PODC 2006): hash the L-bit value to a κ-bit digest with a universal
+  hash, agree on the digest, deliver the long value only from processors
+  whose input matches.  ``O(nL + n³(n+κ))`` bits, but errs when digests
+  collide — the error our paper's algorithm eliminates.
+* :mod:`repro.baselines.hashing` — the polynomial universal hash family
+  used by the above, including an explicit collision constructor for the
+  error-probability experiment (E6).
+"""
+
+from repro.baselines.bitwise import BitwiseConsensus, BitwiseResult
+from repro.baselines.fitzi_hirt import FitziHirtConsensus, FitziHirtResult
+from repro.baselines.hashing import (
+    PolynomialHash,
+    collision_for,
+)
+
+__all__ = [
+    "BitwiseConsensus",
+    "BitwiseResult",
+    "FitziHirtConsensus",
+    "FitziHirtResult",
+    "PolynomialHash",
+    "collision_for",
+]

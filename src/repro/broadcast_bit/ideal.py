@@ -1,0 +1,91 @@
+"""Accounted-ideal ``Broadcast_Single_Bit``.
+
+The paper's analysis treats the 1-bit broadcast as a black box of cost
+``B`` bits and cites bit-optimal error-free algorithms with ``B = Θ(n²)``
+(Berman-Garay-Perry; Coan-Welch).  This backend models exactly that black
+box: the *outcome* obeys the broadcast contract (agreement always;
+validity for an honest source; a faulty source picks any single bit), and
+the *cost* charged to the meter is a configurable ``B(n)``, default
+``2·n²`` bits, which makes measured totals line up with Eq. (1)-(3).
+
+Using this backend is the substitution documented in DESIGN.md §5; the
+Phase-King backend provides the end-to-end error-free execution, and
+benchmark E10 quantifies the gap between the two.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Optional
+
+from repro.broadcast_bit.interface import BroadcastBackend
+
+
+def default_b(n: int) -> int:
+    """The default modelled cost of one broadcast instance: ``2 n²`` bits."""
+    return 2 * n * n
+
+
+class AccountedIdealBroadcast(BroadcastBackend):
+    """Correct-by-construction broadcast with modelled ``Θ(n²)`` cost."""
+
+    name = "ideal"
+    error_free = True
+
+    def __init__(
+        self,
+        n: int,
+        t: int,
+        meter=None,
+        adversary=None,
+        view_provider=None,
+        b_function: Optional[Callable[[int], int]] = None,
+    ):
+        super().__init__(n, t, meter, adversary, view_provider)
+        self._b_function = b_function if b_function is not None else default_b
+        self._b = int(self._b_function(n))
+
+    def _broadcast_one(
+        self, source: int, bit: int, tag: str, ignored: FrozenSet[int]
+    ) -> Dict[int, int]:
+        instance = self._next_instance()
+        if self.adversary.controls(source):
+            outcome = self.adversary.ideal_broadcast_bit(
+                source, bit, instance, self._view()
+            )
+            outcome = 1 if outcome else 0
+        else:
+            outcome = bit
+        # One instance costs B(n) bits across ~n(n-1) messages; the message
+        # count is a modelling convention and does not affect bit totals.
+        self._charge(tag, self._b, messages=self.n * (self.n - 1))
+        return {pid: outcome for pid in range(self.n)}
+
+    def broadcast_bits(self, source, bits, tag, ignored=frozenset()):
+        """Batched fast path: semantics identical to the base class
+        (one instance per bit), with one meter entry per call."""
+        if source in ignored:
+            return {
+                pid: [0] * len(bits) for pid in range(self.n)
+            }
+        outcomes = []
+        for bit in bits:
+            if bit not in (0, 1):
+                raise ValueError("bit must be 0 or 1, got %r" % (bit,))
+            instance = self._next_instance()
+            if self.adversary.controls(source):
+                value = self.adversary.ideal_broadcast_bit(
+                    source, bit, instance, self._view()
+                )
+                outcomes.append(1 if value else 0)
+            else:
+                outcomes.append(bit)
+        self.stats.bits_charged += self._b * len(bits)
+        self.meter.add(
+            tag,
+            self._b * len(bits),
+            messages=self.n * (self.n - 1) * len(bits),
+        )
+        return {pid: list(outcomes) for pid in range(self.n)}
+
+    def bits_per_instance(self) -> float:
+        return float(self._b)

@@ -1,0 +1,140 @@
+"""Common contract for ``Broadcast_Single_Bit`` implementations.
+
+A backend broadcasts one bit from a designated source to all processors
+and returns, for *every* processor, the bit that processor ends up with.
+An error-free backend guarantees:
+
+* **Agreement** — all fault-free processors return the same bit;
+* **Validity** — if the source is fault-free, that bit is the source's.
+
+The probabilistic backend (:mod:`repro.broadcast_bit.dolev_strong`) may
+violate agreement with small probability; engines built for ``t < n/3``
+assert agreement and engines for the §4 variant record violations as the
+algorithm's (substrate-inherited) error events.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence
+
+from repro.network.metrics import BitMeter
+from repro.processors.adversary import Adversary, GlobalView
+
+
+@dataclass
+class BroadcastStats:
+    """Counters a backend keeps across its lifetime."""
+
+    instances: int = 0
+    bits_charged: int = 0
+    disagreements: int = 0
+    extras: Dict[str, int] = field(default_factory=dict)
+
+
+class BroadcastBackend(abc.ABC):
+    """Base class wiring up metering, adversary access and instance ids."""
+
+    #: short name used in configs and reports
+    name = "abstract"
+    #: whether agreement is guaranteed in all executions
+    error_free = True
+    #: largest t the backend tolerates, as a function of n
+    @staticmethod
+    def max_faults(n: int) -> int:
+        return (n - 1) // 3
+
+    def __init__(
+        self,
+        n: int,
+        t: int,
+        meter: Optional[BitMeter] = None,
+        adversary: Optional[Adversary] = None,
+        view_provider: Optional[Callable[[], GlobalView]] = None,
+    ):
+        if n < 1:
+            raise ValueError("n must be positive, got %d" % n)
+        if t < 0:
+            raise ValueError("t must be non-negative, got %d" % t)
+        self.n = n
+        self.t = t
+        self.meter = meter if meter is not None else BitMeter()
+        self.adversary = adversary if adversary is not None else Adversary()
+        self._view_provider = view_provider
+        self.stats = BroadcastStats()
+
+    def _view(self) -> GlobalView:
+        if self._view_provider is not None:
+            return self._view_provider()
+        return GlobalView(n=self.n, t=self.t, faulty=set(self.adversary.faulty))
+
+    def _next_instance(self) -> int:
+        self.stats.instances += 1
+        return self.stats.instances - 1
+
+    def _charge(self, tag: str, bits: int, messages: int = 1) -> None:
+        self.meter.add(tag, bits, messages)
+        self.stats.bits_charged += bits
+
+    # -- public API -----------------------------------------------------------
+
+    def broadcast_bit(
+        self,
+        source: int,
+        bit: int,
+        tag: str,
+        ignored: FrozenSet[int] = frozenset(),
+    ) -> Dict[int, int]:
+        """Broadcast one bit; returns pid -> received bit for every pid.
+
+        ``ignored`` holds processors the fault-free have isolated via the
+        diagnosis graph: they neither send nor are listened to.  An ignored
+        source yields the default bit 0 everywhere without communication.
+        """
+        if bit not in (0, 1):
+            raise ValueError("bit must be 0 or 1, got %r" % (bit,))
+        if not 0 <= source < self.n:
+            raise ValueError("source %d out of range" % source)
+        if source in ignored:
+            return {pid: 0 for pid in range(self.n)}
+        result = self._broadcast_one(source, bit, tag, ignored)
+        honest = [
+            value
+            for pid, value in result.items()
+            if pid not in self.adversary.faulty
+        ]
+        if honest and any(value != honest[0] for value in honest):
+            self.stats.disagreements += 1
+            if self.error_free:
+                raise AssertionError(
+                    "error-free backend %s produced disagreement %r"
+                    % (self.name, result)
+                )
+        return result
+
+    def broadcast_bits(
+        self,
+        source: int,
+        bits: Sequence[int],
+        tag: str,
+        ignored: FrozenSet[int] = frozenset(),
+    ) -> Dict[int, List[int]]:
+        """Broadcast a bit string: one backend instance per bit (as the
+        paper specifies), results collected per pid."""
+        results: Dict[int, List[int]] = {pid: [] for pid in range(self.n)}
+        for bit in bits:
+            outcome = self.broadcast_bit(source, bit, tag, ignored)
+            for pid in range(self.n):
+                results[pid].append(outcome[pid])
+        return results
+
+    @abc.abstractmethod
+    def _broadcast_one(
+        self, source: int, bit: int, tag: str, ignored: FrozenSet[int]
+    ) -> Dict[int, int]:
+        """Run one broadcast instance and return pid -> decided bit."""
+
+    @abc.abstractmethod
+    def bits_per_instance(self) -> float:
+        """Analytic ``B``: bits charged by one instance (for formulas)."""

@@ -1,0 +1,252 @@
+"""Command-line driver: run the protocols and print audit reports.
+
+Installed as the ``repro-sim`` entry point::
+
+    repro-sim consensus --n 7 --t 2 --l-bits 256 --value 0xDEADBEEF
+    repro-sim consensus --n 7 --t 2 --l-bits 96 --attack slow-bleed
+    repro-sim broadcast --n 10 --l-bits 4096 --source 0 --value 0x1234
+    repro-sim baseline --which fitzi-hirt --n 7 --l-bits 128
+    repro-sim analyze --n 7 --t 2 --l-bits 1048576
+    repro-sim sweep --n 7 --t 2 --l-min 10 --l-max 18
+
+Every subcommand prints deterministic bit counts; no randomness beyond
+the seeded adversaries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.complexity import (
+    bitwise_baseline_bits,
+    consensus_total_bits_optimal,
+    crossover_vs_bitwise,
+    fitzi_hirt_bits,
+    leading_term_per_bit,
+    optimal_d,
+    optimal_d_feasible,
+)
+from repro.analysis.report import consensus_report, format_table
+from repro.analysis.sweeps import sweep_l
+from repro.baselines import BitwiseConsensus, FitziHirtConsensus
+from repro.broadcast_bit.ideal import default_b
+from repro.core import ConsensusConfig, MultiValuedBroadcast, MultiValuedConsensus
+from repro.processors import (
+    Adversary,
+    CrashAdversary,
+    FalseAccusationAdversary,
+    FalseDetectionAdversary,
+    RandomAdversary,
+    SlowBleedAdversary,
+    SymbolCorruptionAdversary,
+)
+
+#: Attack strategies selectable from the CLI; each takes the faulty list.
+ATTACKS = {
+    "none": lambda faulty, seed: Adversary(faulty),
+    "corrupt": lambda faulty, seed: SymbolCorruptionAdversary(faulty),
+    "crash": lambda faulty, seed: CrashAdversary(faulty),
+    "false-accuse": lambda faulty, seed: FalseAccusationAdversary(faulty),
+    "false-detect": lambda faulty, seed: FalseDetectionAdversary(faulty),
+    "slow-bleed": lambda faulty, seed: SlowBleedAdversary(faulty),
+    "random": lambda faulty, seed: RandomAdversary(faulty, seed=seed),
+}
+
+
+def _parse_value(text: str, l_bits: int) -> int:
+    value = int(text, 0)
+    if value < 0 or value >> l_bits:
+        raise SystemExit("value %s does not fit in %d bits" % (text, l_bits))
+    return value
+
+
+def _make_adversary(args) -> Adversary:
+    t = args.t if args.t is not None else (args.n - 1) // 3
+    # Default to low pids: the deterministic P_match search favours them,
+    # which is the interesting (P_match-infiltrating) case for attacks.
+    faulty = (
+        [int(x) for x in args.faulty.split(",")]
+        if args.faulty
+        else list(range(t))
+    )
+    if args.attack == "none":
+        faulty = faulty if args.faulty else []
+    return ATTACKS[args.attack](faulty, args.seed)
+
+
+def cmd_consensus(args) -> int:
+    config = ConsensusConfig.create(
+        n=args.n, t=args.t, l_bits=args.l_bits, d_bits=args.d_bits,
+        backend=args.backend,
+    )
+    adversary = _make_adversary(args)
+    value = _parse_value(args.value, args.l_bits)
+    protocol = MultiValuedConsensus(config, adversary=adversary)
+    result = protocol.run([value] * args.n)
+    print(consensus_report(result, config))
+    return 0 if result.consistent and result.valid else 1
+
+
+def cmd_broadcast(args) -> int:
+    broadcast = MultiValuedBroadcast(
+        n=args.n, t=args.t, l_bits=args.l_bits, backend=args.backend,
+        adversary=_make_adversary(args),
+    )
+    value = _parse_value(args.value, args.l_bits)
+    result = broadcast.run(source=args.source, value=value)
+    print("broadcast run report")
+    print("====================")
+    print("consistent : %s" % result.consistent)
+    print("delivered  : %s" % (result.value == value))
+    print("default    : %s" % result.default_used)
+    print("diagnoses  : %d" % result.diagnosis_count)
+    print("total bits : %d" % result.total_bits)
+    print(
+        "vs (n-1)L  : %.3fx"
+        % (result.total_bits / ((args.n - 1) * args.l_bits))
+    )
+    return 0 if result.consistent else 1
+
+
+def cmd_baseline(args) -> int:
+    value = _parse_value(args.value, args.l_bits)
+    inputs = [value] * args.n
+    t = args.t if args.t is not None else (args.n - 1) // 3
+    if args.which == "bitwise":
+        result = BitwiseConsensus(n=args.n, t=t, l_bits=args.l_bits).run(
+            inputs
+        )
+        erred = not result.error_free
+    else:
+        result = FitziHirtConsensus(
+            n=args.n, t=t, l_bits=args.l_bits, kappa=args.kappa
+        ).run(inputs)
+        erred = result.erred
+    print("%s baseline" % args.which)
+    print("consistent : %s" % result.consistent)
+    print("erred      : %s" % erred)
+    print("total bits : %d" % result.total_bits)
+    return 0 if not erred else 1
+
+
+def cmd_analyze(args) -> int:
+    n, l_bits = args.n, args.l_bits
+    t = args.t if args.t is not None else (n - 1) // 3
+    b = default_b(n)
+    rows = [
+        ("optimal D (paper)", "%.1f" % optimal_d(n, t, l_bits, b)),
+        ("optimal D (feasible)", optimal_d_feasible(n, t, l_bits, b)),
+        ("leading term per bit", "%.3f" % leading_term_per_bit(n, t)),
+        (
+            "total bits (Eq. 2)",
+            "%.0f" % consensus_total_bits_optimal(n, t, l_bits, b),
+        ),
+        ("bitwise baseline bits", "%.0f" % bitwise_baseline_bits(l_bits, b)),
+        (
+            "fitzi-hirt bits (kappa=%d)" % args.kappa,
+            "%.0f" % fitzi_hirt_bits(n, t, l_bits, args.kappa, b),
+        ),
+        (
+            "crossover L vs bitwise",
+            "%.0f" % crossover_vs_bitwise(n, t, b),
+        ),
+    ]
+    print(format_table(("quantity", "value"), rows))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    t = args.t if args.t is not None else (args.n - 1) // 3
+    l_values = [1 << e for e in range(args.l_min, args.l_max + 1, args.step)]
+    points = sweep_l(args.n, t, l_values)
+    rows = [
+        (
+            point.l_bits,
+            point.d_bits,
+            point.generations,
+            point.total_bits,
+            "%.2f" % point.per_bit,
+            "%.3f" % point.ratio_to_asymptote,
+        )
+        for point in points
+    ]
+    print(
+        format_table(
+            ("L", "D", "gens", "total bits", "bits/bit", "vs asymptote"),
+            rows,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Error-free multi-valued Byzantine consensus "
+        "(Liang & Vaidya, PODC 2011) — simulation driver",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, with_value=True):
+        p.add_argument("--n", type=int, default=7, help="processors")
+        p.add_argument("--t", type=int, default=None,
+                       help="faults tolerated (default ⌊(n-1)/3⌋)")
+        p.add_argument("--l-bits", type=int, default=256,
+                       help="value length in bits")
+        p.add_argument("--backend", default="ideal",
+                       choices=["ideal", "phase_king", "eig"],
+                       help="Broadcast_Single_Bit backend")
+        p.add_argument("--attack", default="none", choices=sorted(ATTACKS),
+                       help="Byzantine strategy for the faulty processors")
+        p.add_argument("--faulty", default="",
+                       help="comma-separated faulty pids (default: top t)")
+        p.add_argument("--seed", type=int, default=0,
+                       help="seed for randomised attacks")
+        if with_value:
+            p.add_argument("--value", default="0xDEADBEEF",
+                           help="common input value (int literal)")
+
+    p = sub.add_parser("consensus", help="run the paper's Algorithm 1")
+    common(p)
+    p.add_argument("--d-bits", type=int, default=None,
+                   help="generation size (default: paper-optimal)")
+    p.set_defaults(func=cmd_consensus)
+
+    p = sub.add_parser("broadcast", help="run the §4 multi-valued broadcast")
+    common(p)
+    p.add_argument("--source", type=int, default=0)
+    p.set_defaults(func=cmd_broadcast)
+
+    p = sub.add_parser("baseline", help="run a §1 baseline")
+    common(p)
+    p.add_argument("--which", choices=["bitwise", "fitzi-hirt"],
+                   default="fitzi-hirt")
+    p.add_argument("--kappa", type=int, default=16)
+    p.set_defaults(func=cmd_baseline)
+
+    p = sub.add_parser("analyze", help="closed-form complexity (Eq. 1-3)")
+    common(p, with_value=False)
+    p.add_argument("--kappa", type=int, default=16)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("sweep", help="measured L-sweep")
+    common(p, with_value=False)
+    p.add_argument("--l-min", type=int, default=10,
+                   help="smallest L as a power of two")
+    p.add_argument("--l-max", type=int, default=16,
+                   help="largest L as a power of two")
+    p.add_argument("--step", type=int, default=2)
+    p.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

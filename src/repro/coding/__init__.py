@@ -1,0 +1,32 @@
+"""Error-detecting-code substrate: GF(2^c) arithmetic and Reed-Solomon codes.
+
+The paper's Algorithm 1 relies on an ``(n, n-2t)`` distance-``2t+1``
+Reed-Solomon code over ``GF(2^c)`` (its ``C_2t``).  This subpackage provides
+the field arithmetic (:mod:`repro.coding.gf`) and the code itself
+(:mod:`repro.coding.reed_solomon`), including the three operations the
+protocol needs:
+
+* ``encode`` — the paper's ``C_2t(v)``;
+* ``decode_subset`` — the extended inverse ``C_2t^{-1}(V/A)`` defined for any
+  symbol subset ``A`` with ``|A| >= k``;
+* ``is_consistent`` — the membership test ``V/A ∈ C_2t``.
+"""
+
+from repro.coding.gf import GF, GFElementError, PRIMITIVE_POLYNOMIALS
+from repro.coding.interleaved import InterleavedCode, make_symbol_code
+from repro.coding.reed_solomon import (
+    DecodingError,
+    ReedSolomonCode,
+    min_symbol_bits,
+)
+
+__all__ = [
+    "GF",
+    "GFElementError",
+    "PRIMITIVE_POLYNOMIALS",
+    "ReedSolomonCode",
+    "InterleavedCode",
+    "make_symbol_code",
+    "DecodingError",
+    "min_symbol_bits",
+]

@@ -1,0 +1,230 @@
+"""Arithmetic in the binary extension fields ``GF(2^c)`` for ``1 <= c <= 16``.
+
+Field elements are plain Python ints in ``[0, 2^c)``.  Multiplication and
+division use exp/log tables built once per field width from a standard
+primitive polynomial, which keeps single-element operations O(1) and lets
+:meth:`GF.matvec` run vectorised over numpy arrays for the hot encoding path
+(one matrix-vector product per Reed-Solomon encode).
+
+The protocol requires ``n <= 2^c - 1`` evaluation points, so consensus
+configurations pick the smallest ``c`` that fits ``n`` and the generation
+size ``D`` (see :func:`repro.coding.reed_solomon.min_symbol_bits`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+#: Standard primitive polynomials for GF(2^c), c = 1..16, written as bit
+#: masks including the leading term.  E.g. 0x11D = x^8+x^4+x^3+x^2+1 is the
+#: usual AES-adjacent choice for GF(256).
+PRIMITIVE_POLYNOMIALS: Dict[int, int] = {
+    1: 0x3,  # x + 1
+    2: 0x7,  # x^2 + x + 1
+    3: 0xB,  # x^3 + x + 1
+    4: 0x13,  # x^4 + x + 1
+    5: 0x25,  # x^5 + x^2 + 1
+    6: 0x43,  # x^6 + x + 1
+    7: 0x89,  # x^7 + x^3 + 1
+    8: 0x11D,  # x^8 + x^4 + x^3 + x^2 + 1
+    9: 0x211,  # x^9 + x^4 + 1
+    10: 0x409,  # x^10 + x^3 + 1
+    11: 0x805,  # x^11 + x^2 + 1
+    12: 0x1053,  # x^12 + x^6 + x^4 + x + 1
+    13: 0x201B,  # x^13 + x^4 + x^3 + x + 1
+    14: 0x402B,  # x^14 + x^5 + x^3 + x + 1
+    15: 0x8003,  # x^15 + x + 1
+    16: 0x1100B,  # x^16 + x^12 + x^3 + x + 1
+}
+
+
+class GFElementError(ValueError):
+    """Raised when a value is outside the field or a zero divide occurs."""
+
+
+class GF:
+    """The finite field ``GF(2^c)``.
+
+    Instances are cached per ``c`` via :meth:`get`, so tables are built once
+    per process per field width.
+
+    >>> field = GF.get(8)
+    >>> field.mul(0x57, 0x83)
+    49
+    >>> field.div(49, 0x83)
+    87
+    """
+
+    _cache: Dict[int, "GF"] = {}
+
+    def __init__(self, c: int):
+        if c not in PRIMITIVE_POLYNOMIALS:
+            raise ValueError(
+                "unsupported field width c=%d (supported: 1..16)" % c
+            )
+        self.c = c
+        self.order = 1 << c
+        self.poly = PRIMITIVE_POLYNOMIALS[c]
+        self._build_tables()
+
+    @classmethod
+    def get(cls, c: int) -> "GF":
+        """Return the cached field of width ``c`` (building it if needed)."""
+        field = cls._cache.get(c)
+        if field is None:
+            field = cls(c)
+            cls._cache[c] = field
+        return field
+
+    def _build_tables(self) -> None:
+        size = self.order - 1
+        exp = np.zeros(2 * size, dtype=np.int64)
+        log = np.zeros(self.order, dtype=np.int64)
+        x = 1
+        for i in range(size):
+            exp[i] = x
+            log[x] = i
+            x <<= 1
+            if x & self.order:
+                x ^= self.poly
+        # Duplicate the exp table so mul can skip a modulo.
+        exp[size:] = exp[:size]
+        self._exp = exp
+        self._log = log
+
+    # -- scalar operations -------------------------------------------------
+
+    def _check(self, value: int) -> int:
+        if not 0 <= value < self.order:
+            raise GFElementError(
+                "value %r outside GF(2^%d)" % (value, self.c)
+            )
+        return value
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (= subtraction = XOR in characteristic 2)."""
+        return self._check(a) ^ self._check(b)
+
+    sub = add
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication via log tables."""
+        self._check(a)
+        self._check(b)
+        if a == 0 or b == 0:
+            return 0
+        return int(self._exp[self._log[a] + self._log[b]])
+
+    def div(self, a: int, b: int) -> int:
+        """Field division; raises :class:`GFElementError` on divide-by-zero."""
+        self._check(a)
+        self._check(b)
+        if b == 0:
+            raise GFElementError("division by zero in GF(2^%d)" % self.c)
+        if a == 0:
+            return 0
+        return int(
+            self._exp[self._log[a] - self._log[b] + self.order - 1]
+        )
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises on zero."""
+        return self.div(1, a)
+
+    def pow(self, a: int, e: int) -> int:
+        """Raise ``a`` to the integer power ``e`` (``e`` may be negative)."""
+        self._check(a)
+        if a == 0:
+            if e == 0:
+                return 1
+            if e < 0:
+                raise GFElementError("0 has no negative powers")
+            return 0
+        size = self.order - 1
+        exponent = (self._log[a] * e) % size
+        return int(self._exp[exponent])
+
+    # -- polynomial / vector operations ------------------------------------
+
+    def poly_eval(self, coeffs: Sequence[int], x: int) -> int:
+        """Evaluate a polynomial with ``coeffs[i]`` the coefficient of x^i."""
+        self._check(x)
+        acc = 0
+        for coeff in reversed(list(coeffs)):
+            acc = self.mul(acc, x) ^ self._check(coeff)
+        return acc
+
+    def matvec(self, matrix: np.ndarray, vector: Sequence[int]) -> List[int]:
+        """Multiply an m-by-k GF matrix by a length-k vector.
+
+        This is the hot path of Reed-Solomon encoding: the generator matrix
+        is fixed per code, so each encode is a single table-driven
+        matrix-vector product.
+        """
+        mat = np.asarray(matrix, dtype=np.int64)
+        vec = np.asarray(list(vector), dtype=np.int64)
+        if mat.ndim != 2 or vec.ndim != 1 or mat.shape[1] != vec.shape[0]:
+            raise ValueError(
+                "shape mismatch: matrix %r, vector %r"
+                % (mat.shape, vec.shape)
+            )
+        if ((vec < 0) | (vec >= self.order)).any():
+            raise GFElementError("vector contains values outside the field")
+        # products[i, j] = mat[i, j] * vec[j] in GF, via log/exp tables.
+        # _log[0] is a dummy entry; the nz mask zeroes those products out.
+        nz = (mat != 0) & (vec != 0)[np.newaxis, :]
+        logs = self._log[mat] + self._log[vec][np.newaxis, :]
+        products = np.where(nz, self._exp[logs], 0)
+        # XOR-reduce along rows.
+        result = np.bitwise_xor.reduce(products, axis=1)
+        return [int(v) for v in result]
+
+    def lagrange_interpolate(
+        self, points: Sequence[int], values: Sequence[int]
+    ) -> List[int]:
+        """Return coefficients of the unique degree-<len(points) polynomial
+        through ``(points[i], values[i])``.
+
+        Coefficient order: ``coeffs[i]`` multiplies ``x^i``.  Points must be
+        distinct field elements.
+        """
+        xs = [self._check(x) for x in points]
+        ys = [self._check(y) for y in values]
+        if len(xs) != len(ys):
+            raise ValueError("points and values must have equal length")
+        if len(set(xs)) != len(xs):
+            raise ValueError("interpolation points must be distinct")
+        k = len(xs)
+        coeffs = [0] * k
+        for i in range(k):
+            if ys[i] == 0:
+                continue
+            # Build the i-th Lagrange basis polynomial numerator
+            # prod_{j != i} (x - xs[j]) incrementally.
+            basis = [1]
+            denom = 1
+            for j in range(k):
+                if j == i:
+                    continue
+                # Multiply basis by (x + xs[j])  (== x - xs[j] in char 2).
+                new = [0] * (len(basis) + 1)
+                for d, coeff in enumerate(basis):
+                    new[d + 1] ^= coeff
+                    new[d] ^= self.mul(coeff, xs[j])
+                basis = new
+                denom = self.mul(denom, xs[i] ^ xs[j])
+            scale = self.div(ys[i], denom)
+            for d, coeff in enumerate(basis):
+                coeffs[d] ^= self.mul(coeff, scale)
+        return coeffs
+
+    def __repr__(self) -> str:
+        return "GF(2^%d)" % self.c
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GF) and other.c == self.c
+
+    def __hash__(self) -> int:
+        return hash(("GF", self.c))

@@ -1,0 +1,191 @@
+"""Interleaved Reed-Solomon codes: symbols of arbitrary width.
+
+The paper's generation size ``D`` makes each coded symbol ``D/(n-2t)``
+bits, with no upper bound — but table-driven ``GF(2^c)`` arithmetic is
+only practical for ``c <= 16``.  The standard fix (used by every real RS
+deployment, e.g. CDs and RAID) is *interleaving*: a ``(n, k)`` code over
+``GF(2^c)`` applied to ``m`` independent rows, where position ``j`` of the
+interleaved code carries the ``j``-th symbol of all ``m`` rows packed into
+one ``m*c``-bit super-symbol.
+
+Every property Algorithm 1 needs lifts row-wise:
+
+* any ``k`` super-symbol positions determine all ``m`` rows, hence the
+  data (the code's dimension is still ``k``);
+* a super-symbol subset is consistent with a codeword iff every row's
+  subset is, so inconsistency detection is preserved;
+* two distinct codewords still differ in ``>= n - k + 1`` positions
+  (if two interleaved words agreed on ``k`` positions they would be
+  row-wise equal).
+
+The class mirrors the :class:`~repro.coding.reed_solomon.ReedSolomonCode`
+API so the protocol engines can use either interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.coding.reed_solomon import DecodingError, ReedSolomonCode
+
+
+class InterleavedCode:
+    """``m`` interleaved ``(n, k)`` Reed-Solomon codes over ``GF(2^c)``.
+
+    Data and codeword symbols are ``m*c``-bit integers (row 0 in the most
+    significant bits).
+
+    >>> code = InterleavedCode(n=7, k=3, c=4, interleave=2)
+    >>> word = code.encode([0x12, 0x34, 0x56])
+    >>> word[:3]
+    [18, 52, 86]
+    >>> code.decode_subset({3: word[3], 5: word[5], 6: word[6]})
+    [18, 52, 86]
+    """
+
+    def __init__(self, n: int, k: int, c: int, interleave: int):
+        if interleave < 1:
+            raise ValueError(
+                "interleave depth must be >= 1, got %d" % interleave
+            )
+        self.rows = interleave
+        self.base = ReedSolomonCode(n, k, c)
+        self.n = n
+        self.k = k
+        self.c = c
+        #: bits per (super-)symbol.
+        self.symbol_bits = interleave * c
+        #: exclusive upper bound on symbol values.
+        self.symbol_limit = 1 << self.symbol_bits
+        self.distance = self.base.distance
+        self.field = self.base.field
+
+    # -- packing -----------------------------------------------------------------
+
+    def _split(self, symbol: int) -> List[int]:
+        """Unpack a super-symbol into its ``m`` row symbols."""
+        if not 0 <= symbol < self.symbol_limit:
+            raise ValueError(
+                "symbol %r outside [0, 2^%d)" % (symbol, self.symbol_bits)
+            )
+        mask = (1 << self.c) - 1
+        return [
+            (symbol >> ((self.rows - 1 - r) * self.c)) & mask
+            for r in range(self.rows)
+        ]
+
+    def _join(self, row_symbols: Sequence[int]) -> int:
+        value = 0
+        for symbol in row_symbols:
+            value = (value << self.c) | symbol
+        return value
+
+    # -- ReedSolomonCode-compatible API -----------------------------------------------
+
+    def encode(self, data: Sequence[int]) -> List[int]:
+        """Encode ``k`` super-symbols into ``n`` super-symbols."""
+        data = list(data)
+        if len(data) != self.k:
+            raise ValueError(
+                "expected %d data symbols, got %d" % (self.k, len(data))
+            )
+        row_data = [self._split(symbol) for symbol in data]
+        row_words = [
+            self.base.encode([row_data[i][r] for i in range(self.k)])
+            for r in range(self.rows)
+        ]
+        return [
+            self._join([row_words[r][j] for r in range(self.rows)])
+            for j in range(self.n)
+        ]
+
+    def is_consistent(self, symbols: Dict[int, int]) -> bool:
+        """True iff every interleaved row is consistent with a codeword."""
+        if len(symbols) < self.k:
+            return True
+        split = {pos: self._split(sym) for pos, sym in symbols.items()}
+        return all(
+            self.base.is_consistent(
+                {pos: rows[r] for pos, rows in split.items()}
+            )
+            for r in range(self.rows)
+        )
+
+    def codeword_through(self, symbols: Dict[int, int]) -> Optional[List[int]]:
+        """The unique codeword through >= k positions, or None."""
+        if len(symbols) < self.k:
+            raise ValueError(
+                "need at least k=%d symbols, got %d" % (self.k, len(symbols))
+            )
+        split = {pos: self._split(sym) for pos, sym in symbols.items()}
+        row_words = []
+        for r in range(self.rows):
+            word = self.base.codeword_through(
+                {pos: rows[r] for pos, rows in split.items()}
+            )
+            if word is None:
+                return None
+            row_words.append(word)
+        return [
+            self._join([row_words[r][j] for r in range(self.rows)])
+            for j in range(self.n)
+        ]
+
+    def decode_subset(self, symbols: Dict[int, int]) -> List[int]:
+        """Recover the ``k`` data super-symbols from >= k positions."""
+        word = self.codeword_through(symbols)
+        if word is None:
+            raise DecodingError(
+                "interleaved symbol subset at positions %r lies on no "
+                "codeword" % sorted(symbols)
+            )
+        return word[: self.k]
+
+    def decode(self, codeword: Sequence[int]) -> List[int]:
+        codeword = list(codeword)
+        if len(codeword) != self.n:
+            raise ValueError(
+                "expected %d symbols, got %d" % (self.n, len(codeword))
+            )
+        return self.decode_subset(dict(enumerate(codeword)))
+
+    def is_codeword(self, codeword: Sequence[int]) -> bool:
+        codeword = list(codeword)
+        if len(codeword) != self.n:
+            return False
+        return self.is_consistent(dict(enumerate(codeword)))
+
+    def __repr__(self) -> str:
+        return "InterleavedCode(n=%d, k=%d, c=%d, interleave=%d)" % (
+            self.n,
+            self.k,
+            self.c,
+            self.rows,
+        )
+
+
+def make_symbol_code(n: int, k: int, symbol_bits: int):
+    """A code with ``symbol_bits``-bit symbols: plain RS when a field of
+    that width exists, interleaved otherwise.
+
+    ``symbol_bits`` must admit a field width ``c`` with ``n <= 2^c - 1``
+    and ``c | symbol_bits`` and ``c <= 16``; the largest such ``c`` is
+    used (fewest interleaved rows).
+    """
+    from repro.coding.reed_solomon import min_symbol_bits
+
+    c_min = min_symbol_bits(n)
+    if symbol_bits < c_min:
+        raise ValueError(
+            "symbol width %d too small for n=%d (need >= %d)"
+            % (symbol_bits, n, c_min)
+        )
+    if symbol_bits <= 16:
+        return ReedSolomonCode(n, k, symbol_bits)
+    for c in range(16, c_min - 1, -1):
+        if symbol_bits % c == 0:
+            return InterleavedCode(n, k, c, symbol_bits // c)
+    raise ValueError(
+        "symbol width %d has no field-width divisor in [%d, 16] for n=%d"
+        % (symbol_bits, c_min, n)
+    )

@@ -1,0 +1,226 @@
+"""Systematic Reed-Solomon codes over ``GF(2^c)``.
+
+The paper uses an ``(n, k = n - 2t)`` Reed-Solomon code ``C_2t`` with
+distance ``2t + 1``.  Algorithm 1 needs exactly three operations from it,
+all of which this module provides:
+
+* :meth:`ReedSolomonCode.encode` — ``C_2t(v)``: encode ``k`` data symbols
+  into ``n`` coded symbols.
+* :meth:`ReedSolomonCode.decode_subset` — the extended inverse
+  ``C_2t^{-1}(V/A)``: given the values of the codeword at any subset ``A``
+  of at least ``k`` positions, recover the data vector, or report that no
+  codeword agrees with the subset.
+* :meth:`ReedSolomonCode.is_consistent` — the membership test
+  ``V/A ∈ C_2t``: does *some* codeword agree with the given positions?
+
+Construction: the data vector ``v`` of ``k`` symbols defines the unique
+polynomial ``p`` of degree < ``k`` with ``p(alpha_j) = v[j]`` for the first
+``k`` evaluation points; the codeword is ``(p(alpha_1), ..., p(alpha_n))``.
+This makes the code *systematic* (the first ``k`` codeword symbols are the
+data), while any ``k`` of the ``n`` symbols still determine ``p`` — the
+property Lemma 2 and Lemma 5 of the paper rely on.  Encoding is a single
+GF matrix-vector product with a precomputed ``n x k`` generator matrix.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.coding.gf import GF
+
+
+class DecodingError(ValueError):
+    """Raised when a symbol subset is not consistent with any codeword."""
+
+
+def min_symbol_bits(n: int) -> int:
+    """Smallest field width ``c`` such that ``n <= 2^c - 1``.
+
+    The code needs ``n`` distinct nonzero evaluation points in ``GF(2^c)``,
+    hence the constraint (the paper's ``n <= 2^{D/(n-2t)} - 1``).
+    """
+    if n < 1:
+        raise ValueError("n must be positive, got %d" % n)
+    return max(1, math.ceil(math.log2(n + 1)))
+
+
+class ReedSolomonCode:
+    """An ``(n, k)`` systematic Reed-Solomon code over ``GF(2^c)``.
+
+    Positions are 0-based in the API (the paper writes 1-based indices).
+
+    >>> code = ReedSolomonCode(n=7, k=3, c=4)
+    >>> word = code.encode([1, 2, 3])
+    >>> word[:3]
+    [1, 2, 3]
+    >>> code.decode_subset({4: word[4], 5: word[5], 6: word[6]})
+    [1, 2, 3]
+    """
+
+    def __init__(self, n: int, k: int, c: Optional[int] = None):
+        if k < 1:
+            raise ValueError("code dimension k must be >= 1, got %d" % k)
+        if n < k:
+            raise ValueError("need n >= k, got n=%d k=%d" % (n, k))
+        if c is None:
+            c = min_symbol_bits(n)
+        field = GF.get(c)
+        if n > field.order - 1:
+            raise ValueError(
+                "n=%d exceeds the %d nonzero points of GF(2^%d)"
+                % (n, field.order - 1, c)
+            )
+        self.n = n
+        self.k = k
+        self.c = c
+        self.field = field
+        #: bits per symbol (alias of ``c``; matches InterleavedCode's API).
+        self.symbol_bits = c
+        #: exclusive upper bound on symbol values.
+        self.symbol_limit = field.order
+        #: minimum Hamming distance; for the paper's C_2t this is 2t + 1.
+        self.distance = n - k + 1
+        # Evaluation points alpha_j = exp(j), j = 0..n-1 — distinct, nonzero.
+        self.points: List[int] = [
+            int(field._exp[j]) for j in range(n)
+        ]
+        self._generator = self._build_generator()
+        self._interp_cache: Dict[Tuple[int, ...], np.ndarray] = {}
+
+    def _build_generator(self) -> np.ndarray:
+        """Precompute the n-by-k systematic generator matrix.
+
+        Row ``i`` holds the Lagrange basis values ``l_j(alpha_i)`` for the
+        basis defined by the first ``k`` points, so ``G @ v`` evaluates the
+        interpolating polynomial at every evaluation point.
+        """
+        return self._interpolation_matrix(tuple(range(self.k)))
+
+    def _interpolation_matrix(self, positions: Tuple[int, ...]) -> np.ndarray:
+        """n-by-k matrix mapping codeword values at ``positions`` (exactly k
+        of them) to the full codeword."""
+        field = self.field
+        xs = [self.points[p] for p in positions]
+        matrix = np.zeros((self.n, self.k), dtype=np.int64)
+        for j in range(self.k):
+            # Lagrange basis polynomial l_j for the points xs.
+            basis = [1]
+            denom = 1
+            for m in range(self.k):
+                if m == j:
+                    continue
+                new = [0] * (len(basis) + 1)
+                for d, coeff in enumerate(basis):
+                    new[d + 1] ^= coeff
+                    new[d] ^= field.mul(coeff, xs[m])
+                basis = new
+                denom = field.mul(denom, xs[j] ^ xs[m])
+            inv_denom = field.inv(denom)
+            scaled = [field.mul(coeff, inv_denom) for coeff in basis]
+            for i in range(self.n):
+                matrix[i, j] = field.poly_eval(scaled, self.points[i])
+        return matrix
+
+    # -- public API ---------------------------------------------------------
+
+    def encode(self, data: Sequence[int]) -> List[int]:
+        """``C_2t(v)``: encode ``k`` data symbols into ``n`` coded symbols."""
+        data = list(data)
+        if len(data) != self.k:
+            raise ValueError(
+                "expected %d data symbols, got %d" % (self.k, len(data))
+            )
+        return self.field.matvec(self._generator, data)
+
+    def extend(self, positions: Sequence[int], values: Sequence[int]) -> List[int]:
+        """Reconstruct the full codeword from exactly ``k`` known symbols.
+
+        ``positions`` are 0-based codeword indices; the code precomputes and
+        caches one interpolation matrix per distinct position set, so
+        repeated reconstructions (e.g. every generation with the same
+        ``P_decide``) cost one matvec.
+        """
+        key = tuple(positions)
+        if len(key) != self.k:
+            raise ValueError(
+                "need exactly k=%d positions, got %d" % (self.k, len(key))
+            )
+        if len(set(key)) != len(key):
+            raise ValueError("positions must be distinct: %r" % (key,))
+        for p in key:
+            if not 0 <= p < self.n:
+                raise ValueError("position %d out of range [0, %d)" % (p, self.n))
+        matrix = self._interp_cache.get(key)
+        if matrix is None:
+            matrix = self._interpolation_matrix(key)
+            self._interp_cache[key] = matrix
+        return self.field.matvec(matrix, list(values))
+
+    def codeword_through(
+        self, symbols: Dict[int, int]
+    ) -> Optional[List[int]]:
+        """Return the unique codeword agreeing with ``symbols`` at all given
+        positions, or ``None`` if no codeword does.
+
+        ``symbols`` maps 0-based position -> symbol value and must contain at
+        least ``k`` entries.  This realises the paper's ``V/A ∈ C_2t`` test
+        constructively.
+        """
+        if len(symbols) < self.k:
+            raise ValueError(
+                "need at least k=%d symbols to identify a codeword, got %d"
+                % (self.k, len(symbols))
+            )
+        positions = sorted(symbols)
+        base = positions[: self.k]
+        word = self.extend(base, [symbols[p] for p in base])
+        for p in positions[self.k:]:
+            if word[p] != symbols[p]:
+                return None
+        return word
+
+    def is_consistent(self, symbols: Dict[int, int]) -> bool:
+        """``V/A ∈ C_2t``: is the symbol subset consistent with a codeword?
+
+        Subsets with fewer than ``k`` symbols are vacuously consistent (some
+        codeword always passes through fewer than ``k`` points).
+        """
+        if len(symbols) < self.k:
+            return True
+        return self.codeword_through(symbols) is not None
+
+    def decode_subset(self, symbols: Dict[int, int]) -> List[int]:
+        """``C_2t^{-1}(V/A)``: recover the data from >= k codeword symbols.
+
+        Raises :class:`DecodingError` if the symbols do not agree with any
+        codeword (the caller should have run the checking stage first).
+        """
+        word = self.codeword_through(symbols)
+        if word is None:
+            raise DecodingError(
+                "symbol subset at positions %r lies on no codeword"
+                % sorted(symbols)
+            )
+        return word[: self.k]
+
+    def decode(self, codeword: Sequence[int]) -> List[int]:
+        """Recover data from a full, error-free codeword."""
+        codeword = list(codeword)
+        if len(codeword) != self.n:
+            raise ValueError(
+                "expected %d symbols, got %d" % (self.n, len(codeword))
+            )
+        return self.decode_subset(dict(enumerate(codeword)))
+
+    def is_codeword(self, codeword: Sequence[int]) -> bool:
+        """Full-length membership test."""
+        codeword = list(codeword)
+        if len(codeword) != self.n:
+            return False
+        return self.is_consistent(dict(enumerate(codeword)))
+
+    def __repr__(self) -> str:
+        return "ReedSolomonCode(n=%d, k=%d, c=%d)" % (self.n, self.k, self.c)

@@ -1,0 +1,45 @@
+"""The paper's primary contribution: multi-valued Byzantine consensus.
+
+Public API:
+
+* :class:`~repro.core.config.ConsensusConfig` — parameter selection
+  (``n, t, L, D``, backend choice) with the paper's feasibility rules;
+* :class:`~repro.core.consensus.MultiValuedConsensus` — the full L-bit
+  algorithm (L/D generations of Algorithm 1 with a shared diagnosis graph);
+* :class:`~repro.core.generation.GenerationProtocol` — one generation:
+  matching, checking and diagnosis stages;
+* :class:`~repro.core.broadcast.MultiValuedBroadcast` — the §4 multi-valued
+  *broadcast* built from the same machinery;
+* result dataclasses in :mod:`repro.core.result`.
+
+Quickstart::
+
+    from repro.core import ConsensusConfig, MultiValuedConsensus
+
+    config = ConsensusConfig.create(n=7, t=2, l_bits=64)
+    protocol = MultiValuedConsensus(config)
+    result = protocol.run([0xDEADBEEF] * 7)
+    assert result.consistent and result.value == 0xDEADBEEF
+"""
+
+from repro.core.broadcast import BroadcastResult, MultiValuedBroadcast
+from repro.core.config import ConsensusConfig, ProtocolInvariantError
+from repro.core.consensus import MultiValuedConsensus
+from repro.core.generation import GenerationProtocol
+from repro.core.result import (
+    ConsensusResult,
+    GenerationOutcome,
+    GenerationResult,
+)
+
+__all__ = [
+    "ConsensusConfig",
+    "ProtocolInvariantError",
+    "MultiValuedConsensus",
+    "GenerationProtocol",
+    "GenerationOutcome",
+    "GenerationResult",
+    "ConsensusResult",
+    "MultiValuedBroadcast",
+    "BroadcastResult",
+]

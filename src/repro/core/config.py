@@ -1,0 +1,192 @@
+"""Configuration and parameter selection for the consensus algorithm.
+
+The paper's parameters are linked: the L-bit value splits into ``L/D``
+generations of ``D`` bits; each generation is ``k = n - 2t`` symbols of
+``c = D/(n-2t)`` bits; the ``(n, n-2t)`` Reed-Solomon code requires
+``n <= 2^c - 1``.  :meth:`ConsensusConfig.create` picks a feasible ``D``
+(the paper's optimal ``D`` rounded to a feasible symbol width) when none
+is given, and validates every constraint otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.analysis.complexity import optimal_d_feasible
+from repro.broadcast_bit.dolev_strong import DolevStrongBroadcast
+from repro.broadcast_bit.eig import EIGBroadcast
+from repro.broadcast_bit.ideal import AccountedIdealBroadcast, default_b
+from repro.broadcast_bit.interface import BroadcastBackend
+from repro.broadcast_bit.phase_king import PhaseKingBroadcast
+from repro.coding.interleaved import make_symbol_code
+from repro.coding.reed_solomon import min_symbol_bits
+
+#: Registry of Broadcast_Single_Bit backends by config name.
+BACKENDS = {
+    "ideal": AccountedIdealBroadcast,
+    "phase_king": PhaseKingBroadcast,
+    "eig": EIGBroadcast,
+    "dolev_strong": DolevStrongBroadcast,
+}
+
+#: Largest directly-supported field width; wider symbols interleave
+#: multiple GF(2^c) rows (see repro.coding.interleaved).
+MAX_SYMBOL_BITS = 16
+
+
+class ProtocolInvariantError(AssertionError):
+    """An execution reached a state the paper proves unreachable.
+
+    Raised e.g. when fault-free processors disagree under an error-free
+    backend — it indicates a bug in the engine or a violated model
+    assumption (t >= n/3), never a legitimate protocol outcome.
+    """
+
+
+@dataclass(frozen=True)
+class ConsensusConfig:
+    """Validated parameters of one consensus deployment.
+
+    Prefer :meth:`create`, which derives ``d_bits`` and ``symbol_bits``;
+    the raw constructor checks every paper constraint and raises
+    ``ValueError`` on violation.
+    """
+
+    n: int
+    t: int
+    l_bits: int
+    d_bits: int
+    symbol_bits: int
+    backend: str = "ideal"
+    default_value: int = 0
+    kappa: int = 16
+    allow_t_ge_n3: bool = False
+    b_function: Optional[Callable[[int], int]] = field(
+        default=None, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.n < 4 and not self.allow_t_ge_n3:
+            if self.t > 0:
+                raise ValueError(
+                    "tolerating t=%d faults needs n >= 3t + 1, got n=%d"
+                    % (self.t, self.n)
+                )
+        if self.t < 0:
+            raise ValueError("t must be non-negative, got %d" % self.t)
+        if not self.allow_t_ge_n3 and 3 * self.t >= self.n:
+            raise ValueError(
+                "error-free consensus requires t < n/3 (n=%d, t=%d); "
+                "set allow_t_ge_n3=True with the dolev_strong backend for "
+                "the probabilistic §4 variant" % (self.n, self.t)
+            )
+        if self.n - 2 * self.t < 1:
+            raise ValueError(
+                "code dimension n - 2t must be >= 1 (n=%d, t=%d)"
+                % (self.n, self.t)
+            )
+        if self.l_bits < 1:
+            raise ValueError("l_bits must be positive, got %d" % self.l_bits)
+        if self.d_bits % self.data_symbols:
+            raise ValueError(
+                "d_bits=%d is not a multiple of n - 2t = %d"
+                % (self.d_bits, self.data_symbols)
+            )
+        if self.symbol_bits != self.d_bits // self.data_symbols:
+            raise ValueError(
+                "symbol_bits=%d inconsistent with d_bits=%d and n-2t=%d"
+                % (self.symbol_bits, self.d_bits, self.data_symbols)
+            )
+        if self.symbol_bits < min_symbol_bits(self.n):
+            raise ValueError(
+                "Reed-Solomon code needs n <= 2^c - 1: n=%d, c=%d"
+                % (self.n, self.symbol_bits)
+            )
+        # Wide symbols must decompose into supported field widths.
+        make_symbol_code(self.n, self.data_symbols, self.symbol_bits)
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                "unknown backend %r (choose from %s)"
+                % (self.backend, sorted(BACKENDS))
+            )
+        if self.allow_t_ge_n3 and 3 * self.t >= self.n:
+            if BACKENDS[self.backend].error_free:
+                raise ValueError(
+                    "t >= n/3 requires a probabilistic backend "
+                    "(dolev_strong), not %r" % self.backend
+                )
+        if self.default_value < 0 or self.default_value >> self.l_bits:
+            raise ValueError(
+                "default_value must fit in %d bits" % self.l_bits
+            )
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def data_symbols(self) -> int:
+        """``k = n - 2t``, the code dimension."""
+        return self.n - 2 * self.t
+
+    @property
+    def generations(self) -> int:
+        """Number of generations ``⌈L/D⌉`` (the last one zero-padded)."""
+        return math.ceil(self.l_bits / self.d_bits)
+
+    @property
+    def padded_bits(self) -> int:
+        return self.generations * self.d_bits
+
+    def make_code(self):
+        """The paper's ``C_2t``: an ``(n, n-2t)`` code with ``D/(n-2t)``-bit
+        symbols (interleaved over GF(2^c) rows when wider than 16 bits)."""
+        return make_symbol_code(self.n, self.data_symbols, self.symbol_bits)
+
+    def make_backend(self, meter, adversary, view_provider) -> BroadcastBackend:
+        cls = BACKENDS[self.backend]
+        kwargs = {}
+        if self.backend == "ideal" and self.b_function is not None:
+            kwargs["b_function"] = self.b_function
+        if self.backend == "dolev_strong":
+            kwargs["kappa"] = self.kappa
+        return cls(
+            self.n, self.t, meter, adversary, view_provider, **kwargs
+        )
+
+    @classmethod
+    def create(
+        cls,
+        n: int,
+        l_bits: int,
+        t: Optional[int] = None,
+        d_bits: Optional[int] = None,
+        backend: str = "ideal",
+        default_value: int = 0,
+        kappa: int = 16,
+        allow_t_ge_n3: bool = False,
+        b_function: Optional[Callable[[int], int]] = None,
+    ) -> "ConsensusConfig":
+        """Build a config, deriving ``t`` (max tolerable) and ``D``
+        (paper-optimal, rounded feasible) when not given."""
+        if t is None:
+            t = (n - 1) // 3
+        k = n - 2 * t
+        if k < 1:
+            raise ValueError("n - 2t must be >= 1 (n=%d, t=%d)" % (n, t))
+        if d_bits is None:
+            b = float((b_function or default_b)(n))
+            d_bits = optimal_d_feasible(n, t, l_bits, b)
+        symbol_bits = d_bits // k
+        return cls(
+            n=n,
+            t=t,
+            l_bits=l_bits,
+            d_bits=d_bits,
+            symbol_bits=symbol_bits,
+            backend=backend,
+            default_value=default_value,
+            kappa=kappa,
+            allow_t_ge_n3=allow_t_ge_n3,
+            b_function=b_function,
+        )

@@ -1,0 +1,196 @@
+"""The full L-bit consensus algorithm: ``L/D`` generations of Algorithm 1
+with memory across generations (the shared diagnosis graph).
+
+This is the library's primary entry point::
+
+    config = ConsensusConfig.create(n=7, t=2, l_bits=256)
+    result = MultiValuedConsensus(config).run(inputs)
+
+The orchestrator owns the objects shared across generations — the
+diagnosis graph, the metered network, the ``Broadcast_Single_Bit``
+backend — and assembles the per-generation symbol decisions back into an
+L-bit value per fault-free processor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import ConsensusConfig
+from repro.core.generation import GenerationProtocol
+from repro.core.result import (
+    ConsensusResult,
+    GenerationOutcome,
+    GenerationResult,
+)
+from repro.graphs.diagnosis_graph import DiagnosisGraph
+from repro.network.metrics import BitMeter
+from repro.network.simulator import SyncNetwork
+from repro.processors.adversary import Adversary, GlobalView
+from repro.utils.bits import bits_to_int, int_to_bits
+
+
+class MultiValuedConsensus:
+    """Error-free multi-valued Byzantine consensus (Liang & Vaidya 2011)."""
+
+    def __init__(
+        self,
+        config: ConsensusConfig,
+        adversary: Optional[Adversary] = None,
+        meter: Optional[BitMeter] = None,
+    ):
+        self.config = config
+        self.adversary = adversary if adversary is not None else Adversary()
+        if (
+            not config.allow_t_ge_n3
+            and len(self.adversary.faulty) > config.t
+        ):
+            raise ValueError(
+                "adversary controls %d processors but config tolerates t=%d"
+                % (len(self.adversary.faulty), config.t)
+            )
+        self.meter = meter if meter is not None else BitMeter()
+        self.graph = DiagnosisGraph(config.n)
+        self.network = SyncNetwork(config.n, self.meter)
+        self.code = config.make_code()
+        self._view_extras: Dict[str, object] = {}
+        self.backend = config.make_backend(
+            self.meter, self.adversary, self._make_view
+        )
+
+    # -- value <-> symbol plumbing --------------------------------------------------
+
+    def parts_of(self, value: int) -> List[List[int]]:
+        """Split an L-bit value into ``generations`` lists of ``k`` symbols.
+
+        Big-endian throughout; the tail generation is zero-padded, matching
+        the paper's divisibility convenience assumption.
+        """
+        config = self.config
+        if value < 0 or value >> config.l_bits:
+            raise ValueError(
+                "value does not fit in %d bits" % config.l_bits
+            )
+        bits = int_to_bits(value, config.l_bits)
+        bits += [0] * (config.padded_bits - config.l_bits)
+        parts: List[List[int]] = []
+        c = config.symbol_bits
+        for g in range(config.generations):
+            chunk = bits[g * config.d_bits:(g + 1) * config.d_bits]
+            parts.append(
+                [
+                    bits_to_int(chunk[s * c:(s + 1) * c])
+                    for s in range(config.data_symbols)
+                ]
+            )
+        return parts
+
+    def value_of(self, parts: Sequence[Sequence[int]]) -> int:
+        """Inverse of :meth:`parts_of` (drops the padding)."""
+        config = self.config
+        bits: List[int] = []
+        for part in parts:
+            for symbol in part:
+                bits.extend(int_to_bits(symbol, config.symbol_bits))
+        return bits_to_int(bits[: config.l_bits])
+
+    def _make_view(self) -> GlobalView:
+        return GlobalView(
+            n=self.config.n,
+            t=self.config.t,
+            faulty=set(self.adversary.faulty),
+            extras=dict(self._view_extras),
+        )
+
+    # -- main entry point --------------------------------------------------------------
+
+    def run(self, inputs: Sequence[int]) -> ConsensusResult:
+        """Run consensus over ``inputs[pid]`` (one L-bit int per processor).
+
+        Returns a :class:`~repro.core.result.ConsensusResult` containing the
+        decision of every fault-free processor, per-generation records and
+        the full bit-metering snapshot.
+        """
+        config = self.config
+        if len(inputs) != config.n:
+            raise ValueError(
+                "expected %d inputs, got %d" % (config.n, len(inputs))
+            )
+        honest = [
+            pid for pid in range(config.n)
+            if not self.adversary.controls(pid)
+        ]
+
+        self._view_extras = {
+            "code": self.code,
+            "config": config,
+            "diag_graph": self.graph,
+            "parts_of": self.parts_of,
+            "l_bits": config.l_bits,
+        }
+
+        effective: Dict[int, int] = {}
+        for pid in range(config.n):
+            value = inputs[pid]
+            if self.adversary.controls(pid):
+                value = self.adversary.input_value(
+                    pid, value, self._make_view()
+                )
+                value %= 1 << config.l_bits
+            effective[pid] = value
+        parts_by_pid = {
+            pid: self.parts_of(effective[pid]) for pid in range(config.n)
+        }
+        default_parts = self.parts_of(config.default_value)
+
+        generation_results: List[GenerationResult] = []
+        decided_parts: Dict[int, List[Sequence[int]]] = {
+            pid: [] for pid in honest
+        }
+        default_used = False
+
+        for g in range(config.generations):
+            self._view_extras["generation"] = g
+            protocol = GenerationProtocol(
+                config=config,
+                code=self.code,
+                network=self.network,
+                graph=self.graph,
+                backend=self.backend,
+                adversary=self.adversary,
+                generation=g,
+                view_provider=self._make_view,
+            )
+            result = protocol.run(
+                {pid: parts_by_pid[pid][g] for pid in range(config.n)},
+                default_parts[g],
+            )
+            generation_results.append(result)
+            if result.outcome is GenerationOutcome.NO_MATCH_DEFAULT:
+                # Line 1(f): the whole algorithm terminates on the default.
+                default_used = True
+                break
+            for pid in honest:
+                decided_parts[pid].append(result.decisions[pid])
+
+        decisions: Dict[int, int] = {}
+        if default_used:
+            for pid in honest:
+                decisions[pid] = config.default_value
+        else:
+            for pid in honest:
+                decisions[pid] = self.value_of(decided_parts[pid])
+
+        honest_inputs = [inputs[pid] for pid in honest]
+        honest_inputs_equal = len(set(honest_inputs)) == 1
+        return ConsensusResult(
+            decisions=decisions,
+            generation_results=generation_results,
+            meter=self.meter.snapshot(),
+            diagnosis_count=sum(
+                1 for r in generation_results if r.diagnosis_performed
+            ),
+            default_used=default_used,
+            honest_inputs_equal=honest_inputs_equal,
+            common_input=honest_inputs[0] if honest_inputs_equal else None,
+        )

@@ -1,0 +1,527 @@
+"""One generation of Algorithm 1: matching, checking, diagnosis.
+
+The engine keeps a separate state for every processor and only lets
+information flow through the two legitimate channels — point-to-point
+symbol messages (metered by the :class:`~repro.network.simulator.SyncNetwork`)
+and ``Broadcast_Single_Bit`` instances (metered by the backend).  Honest
+behaviour is computed from each processor's own state; wherever a *faulty*
+processor emits information, the corresponding
+:class:`~repro.processors.adversary.Adversary` hook is consulted.
+
+Fault-free processors each derive their own view of broadcast results and
+compute their own ``P_match``/decisions from it.  Under an error-free
+backend these views provably coincide (and the engine asserts it); under
+the probabilistic §4 backend they may diverge, which surfaces as an
+inconsistent :class:`~repro.core.result.GenerationResult` — exactly the
+error mode the paper describes for that variant.  Common-knowledge
+bookkeeping (who broadcasts next, the shared diagnosis graph) follows the
+lowest-pid fault-free processor's view, the *reference view*.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.broadcast_bit.interface import BroadcastBackend
+from repro.coding.reed_solomon import DecodingError, ReedSolomonCode
+from repro.core.config import ConsensusConfig, ProtocolInvariantError
+from repro.core.result import GenerationOutcome, GenerationResult
+from repro.graphs.cliques import find_clique
+from repro.graphs.diagnosis_graph import DiagnosisGraph
+from repro.network.simulator import SyncNetwork
+from repro.processors.adversary import Adversary, GlobalView
+
+
+class GenerationProtocol:
+    """Executes Algorithm 1 for one generation ``g``."""
+
+    def __init__(
+        self,
+        config: ConsensusConfig,
+        code: ReedSolomonCode,
+        network: SyncNetwork,
+        graph: DiagnosisGraph,
+        backend: BroadcastBackend,
+        adversary: Adversary,
+        generation: int,
+        view_provider: Callable[[], GlobalView],
+    ):
+        self.config = config
+        self.code = code
+        self.network = network
+        self.graph = graph
+        self.backend = backend
+        self.adversary = adversary
+        self.generation = generation
+        self._view_provider = view_provider
+        self.n = config.n
+        self.t = config.t
+        self.k = config.data_symbols
+        self.c = config.symbol_bits
+        self.tag = "gen%d" % generation
+        self._honest = sorted(
+            pid for pid in range(self.n) if not adversary.controls(pid)
+        )
+        if not self._honest:
+            raise ValueError("at least one fault-free processor required")
+        self._reference = self._honest[0]
+        self._clique_cache: Dict[Tuple, Optional[Tuple[int, ...]]] = {}
+        self._decode_cache: Dict[frozenset, Tuple[int, ...]] = {}
+        self._consistency_cache: Dict[frozenset, bool] = {}
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _view(self) -> GlobalView:
+        return self._view_provider()
+
+    def _assert_common(self, views: Dict[int, object], what: str) -> None:
+        """Under an error-free backend all honest views must coincide."""
+        if not self.backend.error_free:
+            return
+        reference = views[self._reference]
+        for pid in self._honest:
+            if views[pid] != reference:
+                raise ProtocolInvariantError(
+                    "fault-free processors diverged on %s in generation %d: "
+                    "%r vs %r (pid %d)"
+                    % (what, self.generation, reference, views[pid], pid)
+                )
+
+    def _cached_decode(self, positions: Dict[int, int]) -> Tuple[int, ...]:
+        """Memoised ``decode_subset``: in the common case every fault-free
+        processor decodes the same symbol set, so one decode serves all."""
+        key = frozenset(positions.items())
+        cached = self._decode_cache.get(key)
+        if cached is None:
+            cached = tuple(self.code.decode_subset(positions))
+            self._decode_cache[key] = cached
+        return cached
+
+    def _cached_consistent(self, positions: Dict[int, int]) -> bool:
+        """Memoised ``is_consistent`` (same sharing argument as decode)."""
+        key = frozenset(positions.items())
+        cached = self._consistency_cache.get(key)
+        if cached is None:
+            cached = self.code.is_consistent(positions)
+            self._consistency_cache[key] = cached
+        return cached
+
+    def _valid_symbol(self, payload: object) -> Optional[int]:
+        if isinstance(payload, int) and 0 <= payload < self.code.symbol_limit:
+            return payload
+        return None
+
+    def _find_match_set(
+        self, m_view: Dict[int, List[bool]]
+    ) -> Optional[Tuple[int, ...]]:
+        """Line 1(e): a clique of ``n - t`` pairwise-matching processors."""
+        key = tuple(tuple(m_view[i]) for i in range(self.n))
+        if key in self._clique_cache:
+            return self._clique_cache[key]
+        adjacency = {
+            i: {
+                j
+                for j in range(self.n)
+                if j != i and m_view[i][j] and m_view[j][i]
+            }
+            for i in range(self.n)
+        }
+        clique = find_clique(adjacency, self.n - self.t)
+        result = tuple(clique) if clique is not None else None
+        self._clique_cache[key] = result
+        return result
+
+    # -- main entry point -----------------------------------------------------------
+
+    def run(
+        self,
+        parts: Dict[int, Sequence[int]],
+        default_part: Sequence[int],
+    ) -> GenerationResult:
+        """Run one generation on ``parts[pid]`` (``k`` symbols each)."""
+        isolated = frozenset(self.graph.isolated)
+
+        codewords, received = self._matching_exchange(parts, isolated)
+        m_view = self._matching_broadcast(codewords, received, isolated)
+
+        p_match_views: Dict[int, Optional[Tuple[int, ...]]] = {
+            pid: self._find_match_set(m_view[pid]) for pid in self._honest
+        }
+        self._assert_common(p_match_views, "P_match")
+        p_match = p_match_views[self._reference]
+
+        if p_match is None:
+            # Line 1(f): honest inputs provably differ; decide the default.
+            decisions = {
+                pid: tuple(default_part) for pid in self._honest
+            }
+            return GenerationResult(
+                generation=self.generation,
+                outcome=GenerationOutcome.NO_MATCH_DEFAULT,
+                decisions=decisions,
+                p_match=None,
+            )
+
+        detected_view, detectors = self._checking_stage(
+            p_match, p_match_views, received, isolated
+        )
+
+        any_detected = {
+            pid: any(
+                detected_view[pid].get(q, False)
+                for q in range(self.n)
+                if q not in (p_match_views[pid] or ())
+            )
+            for pid in self._honest
+        }
+        self._assert_common(any_detected, "Detected outcome")
+
+        if not any_detected[self._reference]:
+            # Line 2(c): decide C^{-1}(R_i / P_match).
+            decisions = {}
+            for pid in self._honest:
+                my_match = p_match_views[pid] or p_match
+                positions = {
+                    j: received[pid][j]
+                    for j in my_match
+                    if received[pid].get(j) is not None
+                }
+                try:
+                    decisions[pid] = self._cached_decode(positions)
+                except (DecodingError, ValueError):
+                    # Only reachable when broadcast views diverged
+                    # (probabilistic backend): fall back to the default.
+                    if self.backend.error_free:
+                        raise ProtocolInvariantError(
+                            "undecodable checking-stage symbols at pid %d"
+                            % pid
+                        )
+                    decisions[pid] = tuple(default_part)
+            self._assert_common(decisions, "checking-stage decision")
+            return GenerationResult(
+                generation=self.generation,
+                outcome=GenerationOutcome.DECIDED_CHECKING,
+                decisions=decisions,
+                p_match=p_match,
+                detectors=detectors,
+            )
+
+        return self._diagnosis_stage(
+            p_match, codewords, received, detected_view, detectors,
+            isolated, default_part,
+        )
+
+    # -- matching stage -------------------------------------------------------------
+
+    def _matching_exchange(
+        self,
+        parts: Dict[int, Sequence[int]],
+        isolated: FrozenSet[int],
+    ) -> Tuple[Dict[int, List[int]], Dict[int, Dict[int, Optional[int]]]]:
+        """Lines 1(a)-1(b): encode and exchange one symbol per processor."""
+        view = self._view()
+        codewords: Dict[int, List[int]] = {}
+        for pid in range(self.n):
+            part = list(parts[pid])
+            if len(part) != self.k:
+                raise ValueError(
+                    "pid %d: expected %d symbols, got %d"
+                    % (pid, self.k, len(part))
+                )
+            codewords[pid] = self.code.encode(part)
+
+        symbol_tag = "%s.matching.symbols" % self.tag
+        for sender in range(self.n):
+            if sender in isolated:
+                continue
+            own_symbol = codewords[sender][sender]
+            for recipient in sorted(self.graph.trusted_by(sender)):
+                if recipient in isolated:
+                    continue
+                payload: Optional[int] = own_symbol
+                if self.adversary.controls(sender):
+                    payload = self.adversary.matching_symbol(
+                        sender, recipient, own_symbol, self.generation, view
+                    )
+                if payload is None:
+                    continue  # silent: no bits on the wire
+                self.network.send(
+                    sender, recipient, payload, bits=self.c, tag=symbol_tag
+                )
+        inboxes = self.network.deliver()
+
+        received: Dict[int, Dict[int, Optional[int]]] = {
+            pid: {} for pid in range(self.n)
+        }
+        for pid in range(self.n):
+            for message in inboxes[pid]:
+                if not self.graph.trusts(pid, message.sender):
+                    continue  # line 1(b): ignore untrusted senders
+                received[pid][message.sender] = self._valid_symbol(
+                    message.payload
+                )
+            received[pid][pid] = codewords[pid][pid]
+        return codewords, received
+
+    def _matching_broadcast(
+        self,
+        codewords: Dict[int, List[int]],
+        received: Dict[int, Dict[int, Optional[int]]],
+        isolated: FrozenSet[int],
+    ) -> Dict[int, Dict[int, List[bool]]]:
+        """Lines 1(c)-1(d): compute and broadcast the M vectors.
+
+        Returns ``m_view[pid][i]`` = the M vector of processor ``i`` as
+        received by ``pid`` (self-entries implicitly true).
+        """
+        view = self._view()
+        tag = "%s.matching.M" % self.tag
+        m_view: Dict[int, Dict[int, List[bool]]] = {
+            pid: {} for pid in range(self.n)
+        }
+        for i in range(self.n):
+            honest_m = [
+                j == i
+                or (
+                    self.graph.trusts(i, j)
+                    and received[i].get(j) is not None
+                    and received[i][j] == codewords[i][j]
+                )
+                for j in range(self.n)
+            ]
+            m_i = honest_m
+            if self.adversary.controls(i):
+                m_i = list(
+                    self.adversary.m_vector(
+                        i, list(honest_m), self.generation, view
+                    )
+                )
+                if len(m_i) != self.n:
+                    m_i = (m_i + [False] * self.n)[: self.n]
+            bits = [1 if m_i[j] else 0 for j in range(self.n) if j != i]
+            outcome = self.backend.broadcast_bits(i, bits, tag, isolated)
+            for pid in range(self.n):
+                vector: List[bool] = []
+                index = 0
+                for j in range(self.n):
+                    if j == i:
+                        vector.append(True)
+                    else:
+                        vector.append(bool(outcome[pid][index]))
+                        index += 1
+                m_view[pid][i] = vector
+        return m_view
+
+    # -- checking stage -------------------------------------------------------------
+
+    def _checking_stage(
+        self,
+        p_match: Tuple[int, ...],
+        p_match_views: Dict[int, Optional[Tuple[int, ...]]],
+        received: Dict[int, Dict[int, Optional[int]]],
+        isolated: FrozenSet[int],
+    ) -> Tuple[Dict[int, Dict[int, bool]], List[int]]:
+        """Lines 2(a)-2(b): outsiders verify and broadcast Detected flags.
+
+        Returns ``detected_view[pid][q]`` = Detected_q as seen by ``pid``,
+        plus the list of fault-free detectors (ground truth for results).
+        """
+        view = self._view()
+        tag = "%s.checking.detected" % self.tag
+        match_set = set(p_match)
+
+        honest_detected: Dict[int, bool] = {}
+        for q in range(self.n):
+            if q in match_set or q in isolated:
+                continue
+            symbols: Dict[int, int] = {}
+            missing = False
+            for j in p_match:
+                if not self.graph.trusts(q, j):
+                    continue  # untrusted members are ignored, not evidence
+                value = received[q].get(j)
+                if value is None:
+                    missing = True  # a trusted member stayed silent: proof
+                else:
+                    symbols[j] = value
+            honest_detected[q] = missing or not self._cached_consistent(
+                symbols
+            )
+
+        detected_view: Dict[int, Dict[int, bool]] = {
+            pid: {} for pid in range(self.n)
+        }
+        detectors: List[int] = []
+        for q in range(self.n):
+            if q in match_set or q in isolated:
+                continue
+            flag = honest_detected[q]
+            if self.adversary.controls(q):
+                flag = bool(
+                    self.adversary.detected_flag(
+                        q, honest_detected[q], self.generation, view
+                    )
+                )
+            elif flag:
+                detectors.append(q)
+            outcome = self.backend.broadcast_bit(
+                q, 1 if flag else 0, tag, isolated
+            )
+            for pid in range(self.n):
+                detected_view[pid][q] = bool(outcome[pid])
+        return detected_view, detectors
+
+    # -- diagnosis stage --------------------------------------------------------------
+
+    def _diagnosis_stage(
+        self,
+        p_match: Tuple[int, ...],
+        codewords: Dict[int, List[int]],
+        received: Dict[int, Dict[int, Optional[int]]],
+        detected_view: Dict[int, Dict[int, bool]],
+        detectors: List[int],
+        isolated: FrozenSet[int],
+        default_part: Sequence[int],
+    ) -> GenerationResult:
+        """Lines 3(a)-3(i): assign blame, update the graph, decide."""
+        view = self._view()
+        match_set = set(p_match)
+
+        # Lines 3(a)-3(b): P_match members broadcast their own symbol.
+        symbol_tag = "%s.diagnosis.symbol" % self.tag
+        r_sharp_view: Dict[int, Dict[int, int]] = {
+            pid: {} for pid in range(self.n)
+        }
+        for j in p_match:
+            honest_symbol = codewords[j][j]
+            symbol = honest_symbol
+            if self.adversary.controls(j):
+                symbol = (
+                    self.adversary.diagnosis_symbol(
+                        j, honest_symbol, self.generation, view
+                    )
+                    % self.code.symbol_limit
+                )
+            bit_list = [
+                (symbol >> (self.c - 1 - b)) & 1 for b in range(self.c)
+            ]
+            outcome = self.backend.broadcast_bits(
+                j, bit_list, symbol_tag, isolated
+            )
+            for pid in range(self.n):
+                r_sharp_view[pid][j] = sum(
+                    bit << (self.c - 1 - index)
+                    for index, bit in enumerate(outcome[pid])
+                )
+
+        # Lines 3(c)-3(d): Trust vectors over P_match, broadcast by everyone.
+        trust_tag = "%s.diagnosis.trust" % self.tag
+        trust_view: Dict[int, Dict[int, Dict[int, bool]]] = {
+            pid: {} for pid in range(self.n)
+        }
+        for i in range(self.n):
+            if i in isolated:
+                continue
+            honest_trust = {}
+            for j in p_match:
+                if i == j:
+                    mine = codewords[i][i]
+                else:
+                    mine = received[i].get(j)
+                honest_trust[j] = (
+                    self.graph.trusts(i, j)
+                    and mine is not None
+                    and mine == r_sharp_view[i][j]
+                )
+            trust_i = honest_trust
+            if self.adversary.controls(i):
+                trust_i = dict(
+                    self.adversary.trust_vector(
+                        i, dict(honest_trust), self.generation, view
+                    )
+                )
+            bit_list = [1 if trust_i.get(j, False) else 0 for j in p_match]
+            outcome = self.backend.broadcast_bits(i, bit_list, trust_tag, isolated)
+            for pid in range(self.n):
+                trust_view[pid][i] = {
+                    j: bool(outcome[pid][index])
+                    for index, j in enumerate(p_match)
+                }
+
+        # Line 3(e): edge removal, from the reference view (identical at
+        # every fault-free processor under an error-free backend).
+        reference_trust = trust_view[self._reference]
+        removed_edges: List[Tuple[int, int]] = []
+        for i in range(self.n):
+            if i in isolated:
+                continue
+            for j in p_match:
+                if i == j:
+                    continue
+                if not reference_trust[i].get(j, False):
+                    if self.graph.remove_edge(i, j):
+                        removed_edges.append(tuple(sorted((i, j))))
+
+        # Line 3(f): with a consistent R#, a complainer whose vertex lost
+        # no edge is provably lying; isolate it.
+        reference_r_sharp = r_sharp_view[self._reference]
+        r_sharp_consistent = self.code.is_consistent(
+            {j: reference_r_sharp[j] for j in p_match}
+        )
+        isolated_now: List[int] = []
+        if r_sharp_consistent:
+            touched = {v for edge in removed_edges for v in edge}
+            for q in range(self.n):
+                if q in match_set or q in isolated:
+                    continue
+                if (
+                    detected_view[self._reference].get(q, False)
+                    and q not in touched
+                    and not self.graph.is_isolated(q)
+                ):
+                    self.graph.isolate(q)
+                    isolated_now.append(q)
+
+        # Line 3(g): over-degree rule.
+        isolated_now.extend(self.graph.apply_overdegree_rule(self.t))
+
+        # Lines 3(h)-3(i): find P_decide and decode from R#.
+        p_decide = self.graph.find_trusting_set(
+            self.n - 2 * self.t, candidates=sorted(match_set)
+        )
+        if p_decide is None:
+            if self.backend.error_free:
+                raise ProtocolInvariantError(
+                    "no P_decide of size %d inside P_match %r"
+                    % (self.n - 2 * self.t, p_match)
+                )
+            decisions = {
+                pid: tuple(default_part) for pid in self._honest
+            }
+            return GenerationResult(
+                generation=self.generation,
+                outcome=GenerationOutcome.DECIDED_DIAGNOSIS,
+                decisions=decisions,
+                p_match=p_match,
+                p_decide=None,
+                removed_edges=removed_edges,
+                isolated=isolated_now,
+                detectors=detectors,
+            )
+
+        decisions = {}
+        for pid in self._honest:
+            positions = {j: r_sharp_view[pid][j] for j in p_decide}
+            decisions[pid] = self._cached_decode(positions)
+        self._assert_common(decisions, "diagnosis-stage decision")
+
+        return GenerationResult(
+            generation=self.generation,
+            outcome=GenerationOutcome.DECIDED_DIAGNOSIS,
+            decisions=decisions,
+            p_match=p_match,
+            p_decide=tuple(p_decide),
+            removed_edges=removed_edges,
+            isolated=isolated_now,
+            detectors=detectors,
+        )

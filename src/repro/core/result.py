@@ -1,0 +1,102 @@
+"""Result records for generations and full consensus runs."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.metrics import MeterSnapshot
+
+
+class GenerationOutcome(enum.Enum):
+    """How a generation of Algorithm 1 reached its decision."""
+
+    #: No P_match existed: honest inputs provably differ; default decided
+    #: and the whole algorithm terminates (line 1(f)).
+    NO_MATCH_DEFAULT = "no_match_default"
+    #: All Detected flags false: decided in the checking stage (line 2(c)).
+    DECIDED_CHECKING = "decided_checking"
+    #: Inconsistency was announced: decided after diagnosis (line 3(i)).
+    DECIDED_DIAGNOSIS = "decided_diagnosis"
+
+
+@dataclass
+class GenerationResult:
+    """Outcome of one generation, from the fault-free perspective."""
+
+    generation: int
+    outcome: GenerationOutcome
+    #: pid -> decided symbol vector, for every fault-free pid.
+    decisions: Dict[int, Tuple[int, ...]]
+    #: the common P_match (reference honest view); None when absent.
+    p_match: Optional[Tuple[int, ...]] = None
+    #: the P_decide used in the diagnosis stage, when entered.
+    p_decide: Optional[Tuple[int, ...]] = None
+    #: edges removed from the diagnosis graph during this generation.
+    removed_edges: List[Tuple[int, int]] = field(default_factory=list)
+    #: processors isolated during this generation.
+    isolated: List[int] = field(default_factory=list)
+    #: fault-free processors that announced Detected = true.
+    detectors: List[int] = field(default_factory=list)
+
+    @property
+    def diagnosis_performed(self) -> bool:
+        return self.outcome is GenerationOutcome.DECIDED_DIAGNOSIS
+
+    @property
+    def consistent(self) -> bool:
+        """Did all fault-free processors decide identically?"""
+        values = set(self.decisions.values())
+        return len(values) <= 1
+
+
+@dataclass
+class ConsensusResult:
+    """Outcome of a full L-bit consensus run."""
+
+    #: pid -> decided L-bit value, for every fault-free pid.
+    decisions: Dict[int, int]
+    #: per-generation records, in order.
+    generation_results: List[GenerationResult]
+    #: bits transmitted, by stage tag.
+    meter: MeterSnapshot
+    #: number of generations in which the diagnosis stage ran.
+    diagnosis_count: int
+    #: True when a missing P_match forced the default value.
+    default_used: bool
+    #: ground truth for property checks: were all honest inputs equal?
+    honest_inputs_equal: bool
+    #: the common honest input when honest_inputs_equal (else None).
+    common_input: Optional[int] = None
+
+    @property
+    def consistent(self) -> bool:
+        """Consistency: all fault-free outputs equal."""
+        return len(set(self.decisions.values())) <= 1
+
+    @property
+    def value(self) -> Optional[int]:
+        """The agreed value, when consistent."""
+        if not self.consistent or not self.decisions:
+            return None
+        return next(iter(self.decisions.values()))
+
+    @property
+    def valid(self) -> bool:
+        """Validity: if honest inputs were equal, the output matches them.
+
+        Vacuously true when honest inputs differed.
+        """
+        if not self.honest_inputs_equal:
+            return True
+        return self.consistent and self.value == self.common_input
+
+    @property
+    def error_free(self) -> bool:
+        """Termination is structural; this checks the two other properties."""
+        return self.consistent and self.valid
+
+    @property
+    def total_bits(self) -> int:
+        return self.meter.total_bits

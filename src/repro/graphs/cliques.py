@@ -1,0 +1,51 @@
+"""Deterministic clique search used for ``P_match`` and ``P_decide``.
+
+Both of the paper's set-finding steps — line 1(e) (a set of ``n - t``
+processors whose M flags are pairwise true) and line 3(h) (a set of
+``n - 2t`` processors in ``P_match`` that pairwise trust each other) — are
+clique problems.  The search below is exact (so the protocol never misses a
+set that exists, which would break validity) and deterministic (sorted
+iteration order), so every fault-free processor computes the same set from
+the same broadcast information, as the paper requires.
+
+Exponential worst case is acceptable here: simulated networks are small
+(n ≤ a few dozen) and the graphs are dense in the cases that matter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+
+def find_clique(
+    adjacency: Dict[int, Set[int]],
+    size: int,
+    candidates: Optional[Iterable[int]] = None,
+) -> Optional[List[int]]:
+    """Return a sorted clique of exactly ``size`` vertices, or ``None``.
+
+    ``adjacency`` maps vertex -> set of neighbours (self-loops ignored).
+    ``candidates`` restricts the vertex pool (defaults to all vertices).
+    The first clique in lexicographic depth-first order is returned, so the
+    result is a pure function of the inputs.
+    """
+    if size <= 0:
+        return []
+    pool = sorted(candidates) if candidates is not None else sorted(adjacency)
+    pool = [v for v in pool if v in adjacency]
+
+    def extend(current: List[int], allowed: List[int]) -> Optional[List[int]]:
+        if len(current) == size:
+            return current
+        # Prune: not enough vertices left to reach the target size.
+        if len(current) + len(allowed) < size:
+            return None
+        for index, vertex in enumerate(allowed):
+            neighbours = adjacency[vertex]
+            narrowed = [u for u in allowed[index + 1:] if u in neighbours]
+            result = extend(current + [vertex], narrowed)
+            if result is not None:
+                return result
+        return None
+
+    return extend([], pool)

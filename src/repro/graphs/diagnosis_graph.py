@@ -1,0 +1,193 @@
+"""The diagnosis graph (``Diag_Graph`` in Algorithm 1).
+
+An undirected graph over the ``n`` processors.  An edge means mutual trust;
+a missing edge means the two endpoints accuse each other.  It starts
+complete, only ever loses edges, and evolves identically at every
+fault-free processor because every update is driven by information
+disseminated through ``Broadcast_Single_Bit``.
+
+Invariants maintained by the protocol (paper §2, proven in Lemma 4):
+
+* every removed edge has at least one faulty endpoint ("bad" edges only);
+* fault-free processors trust each other forever;
+* a vertex that loses more than ``t`` edges belongs to a faulty processor,
+  which is then *isolated* (all remaining edges removed, never re-added).
+
+The class itself enforces only the structural rules (monotone removal,
+isolation bookkeeping); the semantic invariants are checked by the test
+suite against ground-truth fault sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.graphs.cliques import find_clique
+
+
+class DiagnosisGraph:
+    """Mutable trust graph with removal history.
+
+    >>> graph = DiagnosisGraph(4)
+    >>> graph.trusts(0, 1)
+    True
+    >>> graph.remove_edge(0, 1)
+    True
+    >>> graph.trusts(0, 1)
+    False
+    >>> graph.removed_edges_at(0)
+    1
+    """
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise ValueError("need at least 2 processors, got %d" % n)
+        self.n = n
+        self._adjacency: Dict[int, Set[int]] = {
+            i: set(range(n)) - {i} for i in range(n)
+        }
+        self._removed: Set[FrozenSet[int]] = set()
+        self._isolated: Set[int] = set()
+
+    # -- queries ------------------------------------------------------------
+
+    def trusts(self, i: int, j: int) -> bool:
+        """True iff the edge (i, j) is present.  A processor trusts itself."""
+        self._check(i)
+        self._check(j)
+        if i == j:
+            return True
+        return j in self._adjacency[i]
+
+    def trusted_by(self, i: int) -> Set[int]:
+        """The set of processors ``i`` trusts (excluding itself)."""
+        self._check(i)
+        return set(self._adjacency[i])
+
+    def degree(self, i: int) -> int:
+        self._check(i)
+        return len(self._adjacency[i])
+
+    def removed_edges_at(self, i: int) -> int:
+        """How many of ``i``'s original ``n - 1`` edges have been removed."""
+        self._check(i)
+        return (self.n - 1) - len(self._adjacency[i])
+
+    def is_isolated(self, i: int) -> bool:
+        """True iff ``i`` has been explicitly isolated as identified-faulty."""
+        self._check(i)
+        return i in self._isolated
+
+    @property
+    def isolated(self) -> Set[int]:
+        return set(self._isolated)
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """All present edges as sorted (i, j) pairs with i < j."""
+        return [
+            (i, j)
+            for i in range(self.n)
+            for j in self._adjacency[i]
+            if i < j
+        ]
+
+    def removed_edges(self) -> List[Tuple[int, int]]:
+        """All removed edges as sorted (i, j) pairs with i < j."""
+        return sorted(tuple(sorted(edge)) for edge in self._removed)
+
+    # -- mutation -----------------------------------------------------------
+
+    def _check(self, i: int) -> None:
+        if not 0 <= i < self.n:
+            raise ValueError("vertex %d out of range [0, %d)" % (i, self.n))
+
+    def remove_edge(self, i: int, j: int) -> bool:
+        """Remove edge (i, j); returns True if it was present."""
+        self._check(i)
+        self._check(j)
+        if i == j:
+            raise ValueError("diagnosis graph has no self-edges")
+        if j not in self._adjacency[i]:
+            return False
+        self._adjacency[i].discard(j)
+        self._adjacency[j].discard(i)
+        self._removed.add(frozenset((i, j)))
+        return True
+
+    def isolate(self, i: int) -> None:
+        """Mark ``i`` identified-faulty and drop all its remaining edges."""
+        self._check(i)
+        self._isolated.add(i)
+        for j in list(self._adjacency[i]):
+            self.remove_edge(i, j)
+
+    def apply_overdegree_rule(self, t: int) -> List[int]:
+        """Line 3(g): isolate every vertex with more than ``t`` removed edges.
+
+        Returns the newly isolated vertices (sorted).  Isolating a vertex
+        removes edges, which can push *other* vertices over the threshold,
+        but only vertices already over it at call time are isolated — the
+        paper applies the rule to edges removed "so far", and cascades are
+        picked up on the next diagnosis.  (Fault-free vertices can never
+        exceed the threshold: they keep their >= n - t - 1 mutual edges.)
+        """
+        over = [
+            i
+            for i in range(self.n)
+            if i not in self._isolated and self.removed_edges_at(i) >= t + 1
+        ]
+        for i in over:
+            self.isolate(i)
+        return over
+
+    # -- set finding ----------------------------------------------------------
+
+    def find_trusting_set(
+        self, size: int, candidates: Optional[Sequence[int]] = None
+    ) -> Optional[List[int]]:
+        """A ``size``-subset of ``candidates`` that pairwise trust each other.
+
+        Used for ``P_decide`` (line 3(h)).  Deterministic; returns ``None``
+        if no such set exists.
+        """
+        return find_clique(self._adjacency, size, candidates)
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible snapshot (for checkpointing across sessions).
+
+        The diagnosis graph is the only protocol state that must survive
+        between generations, so persisting it lets a deployment resume
+        consensus on a new value without re-learning fault locations.
+        """
+        return {
+            "n": self.n,
+            "removed": self.removed_edges(),
+            "isolated": sorted(self._isolated),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "DiagnosisGraph":
+        """Inverse of :meth:`to_dict`; validates structural consistency."""
+        graph = cls(int(payload["n"]))
+        for edge in payload.get("removed", []):
+            i, j = int(edge[0]), int(edge[1])
+            graph.remove_edge(i, j)
+        for pid in payload.get("isolated", []):
+            graph.isolate(int(pid))
+        return graph
+
+    def copy(self) -> "DiagnosisGraph":
+        dup = DiagnosisGraph(self.n)
+        dup._adjacency = {i: set(adj) for i, adj in self._adjacency.items()}
+        dup._removed = set(self._removed)
+        dup._isolated = set(self._isolated)
+        return dup
+
+    def __repr__(self) -> str:
+        return "DiagnosisGraph(n=%d, removed=%d, isolated=%r)" % (
+            self.n,
+            len(self._removed),
+            sorted(self._isolated),
+        )

@@ -1,0 +1,31 @@
+"""Message record for the synchronous simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message on a directed point-to-point channel.
+
+    The receiver can rely on ``sender`` being authentic: the paper's model
+    states that a message received on a channel is known to come from the
+    processor at the other end.  ``bits`` is the accounted size — the number
+    of bits this message contributes to communication complexity — which is
+    fixed by the protocol step, never by the (possibly Byzantine) payload.
+    """
+
+    sender: int
+    receiver: int
+    payload: Any
+    bits: int
+    tag: str
+    round_index: int = -1
+
+    def __post_init__(self) -> None:
+        if self.sender == self.receiver:
+            raise ValueError("no self-channels: sender == receiver == %d" % self.sender)
+        if self.bits < 0:
+            raise ValueError("bits must be non-negative, got %d" % self.bits)

@@ -1,0 +1,47 @@
+"""Processor framework and the Byzantine adversary model.
+
+The paper's adversary is *omniscient*: it knows every processor's state and
+input, controls up to ``t`` processors, and can make them deviate
+arbitrarily — equivocate, lie in broadcasts, accuse falsely, or stay
+silent.  We model this with an :class:`~repro.processors.adversary.Adversary`
+object that the protocol engines consult at every step where a faulty
+processor emits information.  The base class plays honestly (faulty but
+well-behaved); each attack in :mod:`repro.processors.byzantine` overrides
+exactly the hooks it needs.  Because hooks replace message *payloads* but
+never message *sizes*, Byzantine behaviour cannot distort the
+communication-complexity accounting, matching the paper's definition
+(bits transmitted per the algorithm specification).
+"""
+
+from repro.processors.adaptive import AdaptiveAdversary
+from repro.processors.adversary import Adversary, GlobalView
+from repro.processors.composite import CompositeAdversary
+from repro.processors.byzantine import (
+    CollidingInputAdversary,
+    CrashAdversary,
+    EquivocatingAdversary,
+    FalseAccusationAdversary,
+    FalseDetectionAdversary,
+    RandomAdversary,
+    SlowBleedAdversary,
+    StagedEquivocationAdversary,
+    SymbolCorruptionAdversary,
+    TrustPoisoningAdversary,
+)
+
+__all__ = [
+    "Adversary",
+    "AdaptiveAdversary",
+    "CompositeAdversary",
+    "GlobalView",
+    "CrashAdversary",
+    "SymbolCorruptionAdversary",
+    "EquivocatingAdversary",
+    "FalseAccusationAdversary",
+    "FalseDetectionAdversary",
+    "SlowBleedAdversary",
+    "RandomAdversary",
+    "CollidingInputAdversary",
+    "TrustPoisoningAdversary",
+    "StagedEquivocationAdversary",
+]

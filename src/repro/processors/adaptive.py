@@ -1,0 +1,174 @@
+"""Adaptive corruption: the adversary takes over processors mid-run.
+
+The paper's model lets the adversary "take over up to t processors
+(t < n/3) at any point during the algorithm".  Most attack strategies in
+:mod:`repro.processors.byzantine` corrupt a fixed set from the start; this
+module adds the adaptive envelope: a schedule maps generation numbers to
+the processors corrupted *from that generation on*, and an inner strategy
+decides what the corrupted processors do.
+
+Because the engines ask ``adversary.controls(pid)`` at every emission
+point, flipping a processor's status between generations is exactly the
+paper's adaptive takeover: its past behaviour was honest, its future
+behaviour is adversarial, and the total ever corrupted stays <= t.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set
+
+from repro.processors.adversary import Adversary, GlobalView
+
+
+class AdaptiveAdversary(Adversary):
+    """Corruption schedule + inner behaviour strategy.
+
+    ``schedule`` maps generation -> iterable of pids corrupted starting at
+    that generation.  ``strategy`` is consulted for every hook once the
+    acting pid is corrupted; it must be constructed over the *union* of all
+    scheduled pids (its ``faulty`` set is overridden per call).
+
+    The engine-facing ``faulty`` set is the union over the whole schedule
+    (needed up front for the t-bound check and result bookkeeping: a
+    processor that will ever be corrupted cannot be counted on as
+    fault-free).  ``controls_at(pid, generation)`` exposes the time-aware
+    view, and every generation-indexed hook honours it: before its
+    corruption generation a scheduled processor behaves honestly.
+    """
+
+    def __init__(
+        self,
+        schedule: Dict[int, Sequence[int]],
+        strategy: Optional[Adversary] = None,
+    ):
+        all_pids: Set[int] = set()
+        for pids in schedule.values():
+            all_pids.update(pids)
+        super().__init__(sorted(all_pids))
+        self.schedule = {
+            generation: sorted(pids) for generation, pids in schedule.items()
+        }
+        self.strategy = strategy if strategy is not None else Adversary(
+            sorted(all_pids)
+        )
+        self.strategy.faulty = set(all_pids)
+
+    def corrupted_at(self, generation: int) -> Set[int]:
+        """Processors under adversary control during ``generation``."""
+        corrupted: Set[int] = set()
+        for start, pids in self.schedule.items():
+            if start <= generation:
+                corrupted.update(pids)
+        return corrupted
+
+    def controls_at(self, pid: int, generation: int) -> bool:
+        return pid in self.corrupted_at(generation)
+
+    # -- generation-indexed hooks defer to the strategy only once the pid
+    # -- is actually corrupted; otherwise honest passthrough.
+
+    def matching_symbol(self, pid, recipient, honest_symbol, generation, view):
+        if not self.controls_at(pid, generation):
+            return honest_symbol
+        return self.strategy.matching_symbol(
+            pid, recipient, honest_symbol, generation, view
+        )
+
+    def m_vector(self, pid, honest_m, generation, view):
+        if not self.controls_at(pid, generation):
+            return honest_m
+        return self.strategy.m_vector(pid, honest_m, generation, view)
+
+    def detected_flag(self, pid, honest_flag, generation, view):
+        if not self.controls_at(pid, generation):
+            return honest_flag
+        return self.strategy.detected_flag(pid, honest_flag, generation, view)
+
+    def diagnosis_symbol(self, pid, honest_symbol, generation, view):
+        if not self.controls_at(pid, generation):
+            return honest_symbol
+        return self.strategy.diagnosis_symbol(
+            pid, honest_symbol, generation, view
+        )
+
+    def trust_vector(self, pid, honest_trust, generation, view):
+        if not self.controls_at(pid, generation):
+            return honest_trust
+        return self.strategy.trust_vector(pid, honest_trust, generation, view)
+
+    def source_symbol(self, source, recipient, honest_symbol, generation, view):
+        if not self.controls_at(source, generation):
+            return honest_symbol
+        return self.strategy.source_symbol(
+            source, recipient, honest_symbol, generation, view
+        )
+
+    def forwarded_symbol(self, pid, recipient, honest_symbol, generation, view):
+        if not self.controls_at(pid, generation):
+            return honest_symbol
+        return self.strategy.forwarded_symbol(
+            pid, recipient, honest_symbol, generation, view
+        )
+
+    def source_codeword(self, source, honest_codeword, generation, view):
+        if not self.controls_at(source, generation):
+            return list(honest_codeword)
+        return self.strategy.source_codeword(
+            source, honest_codeword, generation, view
+        )
+
+    # -- broadcast-internal hooks have no generation index; the engines
+    # -- only call them for pids in ``faulty``, so route through the
+    # -- current generation recorded in the view extras when available.
+
+    def _generation_from(self, view: GlobalView) -> Optional[int]:
+        return view.extras.get("generation")
+
+    def bsb_source_bit(self, source, recipient, honest_bit, instance, view):
+        generation = self._generation_from(view)
+        if generation is not None and not self.controls_at(source, generation):
+            return honest_bit
+        return self.strategy.bsb_source_bit(
+            source, recipient, honest_bit, instance, view
+        )
+
+    def ideal_broadcast_bit(self, source, honest_bit, instance, view):
+        generation = self._generation_from(view)
+        if generation is not None and not self.controls_at(source, generation):
+            return honest_bit
+        return self.strategy.ideal_broadcast_bit(
+            source, honest_bit, instance, view
+        )
+
+    def king_value(self, pid, recipient, phase, honest_value, instance, view):
+        generation = self._generation_from(view)
+        if generation is not None and not self.controls_at(pid, generation):
+            return honest_value
+        return self.strategy.king_value(
+            pid, recipient, phase, honest_value, instance, view
+        )
+
+    def king_proposal(self, pid, recipient, phase, honest_proposal, instance,
+                      view):
+        generation = self._generation_from(view)
+        if generation is not None and not self.controls_at(pid, generation):
+            return honest_proposal
+        return self.strategy.king_proposal(
+            pid, recipient, phase, honest_proposal, instance, view
+        )
+
+    def king_bit(self, pid, recipient, phase, honest_bit, instance, view):
+        generation = self._generation_from(view)
+        if generation is not None and not self.controls_at(pid, generation):
+            return honest_bit
+        return self.strategy.king_bit(
+            pid, recipient, phase, honest_bit, instance, view
+        )
+
+    def eig_relay(self, pid, recipient, path, honest_value, instance, view):
+        generation = self._generation_from(view)
+        if generation is not None and not self.controls_at(pid, generation):
+            return honest_value
+        return self.strategy.eig_relay(
+            pid, recipient, path, honest_value, instance, view
+        )

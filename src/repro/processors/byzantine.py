@@ -1,0 +1,472 @@
+"""Concrete Byzantine strategies.
+
+Each strategy deviates in exactly the hooks its attack needs; everything
+else stays honest, which makes tests precise about *which* misbehaviour a
+protocol property survives.  All randomness is seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.processors.adversary import Adversary, GlobalView
+
+
+class CrashAdversary(Adversary):
+    """Faulty processors fall silent from ``crash_generation`` onwards.
+
+    Models fail-stop behaviour inside the Byzantine envelope: silence from
+    a trusted peer shows up as a mismatching symbol, so crashes are handled
+    by the same matching/diagnosis machinery.
+    """
+
+    def __init__(self, faulty: Sequence[int], crash_generation: int = 0):
+        super().__init__(faulty)
+        self.crash_generation = crash_generation
+
+    def _crashed(self, generation: int) -> bool:
+        return generation >= self.crash_generation
+
+    def matching_symbol(self, pid, recipient, honest_symbol, generation, view):
+        if self._crashed(generation):
+            return None
+        return honest_symbol
+
+    def m_vector(self, pid, honest_m, generation, view):
+        if self._crashed(generation):
+            return [False] * len(honest_m)
+        return honest_m
+
+    def detected_flag(self, pid, honest_flag, generation, view):
+        if self._crashed(generation):
+            return False
+        return honest_flag
+
+    def source_symbol(self, source, recipient, honest_symbol, generation, view):
+        if self._crashed(generation):
+            return None
+        return honest_symbol
+
+    def forwarded_symbol(self, pid, recipient, honest_symbol, generation, view):
+        if self._crashed(generation):
+            return None
+        return honest_symbol
+
+
+class SymbolCorruptionAdversary(Adversary):
+    """Faulty processors corrupt the RS symbol sent to chosen victims.
+
+    ``victims`` maps faulty pid -> list of recipients whose copy gets
+    XOR-flipped.  Everything else (M vectors, broadcasts) stays honest, so
+    this exercises detection by the checking stage and blame assignment by
+    the diagnosis stage in isolation.
+    """
+
+    def __init__(
+        self,
+        faulty: Sequence[int],
+        victims: Optional[Dict[int, Sequence[int]]] = None,
+        flip_mask: int = 1,
+    ):
+        super().__init__(faulty)
+        self.victims = {
+            pid: set(v) for pid, v in (victims or {}).items()
+        }
+        if not victims:
+            # Default: every faulty processor corrupts every recipient.
+            self.victims = {pid: None for pid in self.faulty}
+        self.flip_mask = flip_mask
+
+    def _is_victim(self, pid: int, recipient: int) -> bool:
+        targets = self.victims.get(pid)
+        return targets is None or recipient in targets
+
+    def matching_symbol(self, pid, recipient, honest_symbol, generation, view):
+        if self._is_victim(pid, recipient):
+            return honest_symbol ^ self.flip_mask
+        return honest_symbol
+
+    def forwarded_symbol(self, pid, recipient, honest_symbol, generation, view):
+        if self._is_victim(pid, recipient):
+            return honest_symbol ^ self.flip_mask
+        return honest_symbol
+
+    def source_symbol(self, source, recipient, honest_symbol, generation, view):
+        if self._is_victim(source, recipient):
+            return honest_symbol ^ self.flip_mask
+        return honest_symbol
+
+
+class EquivocatingAdversary(Adversary):
+    """Faulty processors pretend to hold different inputs towards different
+    peers: recipients with pid below ``split`` see symbols of
+    ``value_low``'s codeword, the rest see ``value_high``'s.
+
+    The M flags are computed honestly *per pretended value*, which is the
+    strongest equivocation consistent with the message format.
+    """
+
+    def __init__(self, faulty: Sequence[int], split: int, alt_value: int):
+        super().__init__(faulty)
+        self.split = split
+        self.alt_value = alt_value
+
+    def input_value(self, pid, honest_input, view):
+        return honest_input
+
+    def matching_symbol(self, pid, recipient, honest_symbol, generation, view):
+        if recipient >= self.split:
+            code = view.extras.get("code")
+            alt_parts = view.extras.get("alt_parts")
+            if code is not None and alt_parts is not None:
+                return code.encode(alt_parts[generation])[pid]
+        return honest_symbol
+
+
+class FalseAccusationAdversary(Adversary):
+    """Faulty processors broadcast all-false M vectors, accusing everyone.
+
+    This can prevent any P_match containing them; the protocol must still
+    find a fault-free P_match (Lemma 1) or correctly fall to the default.
+    """
+
+    def m_vector(self, pid, honest_m, generation, view):
+        return [False] * len(honest_m)
+
+
+class FalseDetectionAdversary(Adversary):
+    """Faulty processors outside P_match always cry wolf (Detected = true)
+    while behaving honestly otherwise.
+
+    Exercises line 3(f): with a consistent R#, a complainer with no removed
+    edge is provably lying and gets isolated.
+    """
+
+    def detected_flag(self, pid, honest_flag, generation, view):
+        return True
+
+
+class SlowBleedAdversary(Adversary):
+    """Worst-case diagnosis-count strategy for Theorem 1's t(t+1) bound.
+
+    Each generation spends at most *one* bad edge, stretching the number of
+    diagnosis stages towards the ``t(t+1)`` ceiling.  Two plays, planned by
+    emulating the protocol's deterministic P_match search on the current
+    diagnosis graph:
+
+    * **attack** — a faulty processor corrupts the symbol it sends to one
+      honest victim, chosen so the corrupted M flags still leave a P_match
+      containing the attacker and excluding the victim.  The victim detects
+      the inconsistency, diagnosis runs, and exactly the edge
+      (attacker, victim) is removed.
+    * **accuse** — when no attack is viable, a faulty processor that falls
+      outside P_match cries Detected and falsely distrusts a fellow faulty
+      processor inside P_match; the mutual bad edge is removed, and the
+      removal at the complainer's own vertex shields it from the line-3(f)
+      false-alarm isolation.
+    """
+
+    def __init__(self, faulty: Sequence[int]):
+        super().__init__(faulty)
+        self.attack_log: List[Dict[str, int]] = []
+        self._plan: Dict[int, Optional[tuple]] = {}
+
+    def _emulate_match(self, graph, n: int, t: int, broken=None):
+        """Run the engine's exact P_match search for an all-honest-matching
+        round, optionally with one (attacker, victim) mismatch."""
+        from repro.graphs.cliques import find_clique
+
+        adjacency = {
+            i: {
+                j
+                for j in graph.trusted_by(i)
+                if broken is None or {i, j} != set(broken)
+            }
+            for i in range(n)
+        }
+        clique = find_clique(adjacency, n - t)
+        return tuple(clique) if clique is not None else None
+
+    def _plan_for(self, generation: int, view: GlobalView):
+        if generation in self._plan:
+            return self._plan[generation]
+        graph = view.extras.get("diag_graph")
+        n, t = view.n, view.t
+        choice = None
+        if graph is not None:
+            # Play 1: find a viable (attacker, victim) symbol corruption.
+            for attacker in sorted(self.faulty):
+                if graph.is_isolated(attacker):
+                    continue
+                for victim in sorted(
+                    (
+                        peer
+                        for peer in graph.trusted_by(attacker)
+                        if peer not in self.faulty
+                    ),
+                    reverse=True,
+                ):
+                    match = self._emulate_match(
+                        graph, n, t, broken=(attacker, victim)
+                    )
+                    if (
+                        match is not None
+                        and attacker in match
+                        and victim not in match
+                    ):
+                        choice = ("attack", attacker, victim)
+                        break
+                if choice:
+                    break
+            # Play 2: burn a faulty-faulty edge via a false accusation.  The
+            # accuser broadcasts an all-false M vector, forcing itself out
+            # of P_match, then cries Detected and distrusts the target; the
+            # removed (accuser, target) edge shields it from line 3(f).
+            if choice is None:
+                from repro.graphs.cliques import find_clique
+
+                for accuser in sorted(self.faulty):
+                    if graph.is_isolated(accuser):
+                        continue
+                    adjacency = {
+                        i: {
+                            j
+                            for j in graph.trusted_by(i)
+                            if j != accuser
+                        }
+                        for i in range(n)
+                        if i != accuser
+                    }
+                    match = find_clique(adjacency, n - t)
+                    if match is None:
+                        continue
+                    targets = [
+                        p
+                        for p in match
+                        if p in self.faulty and graph.trusts(accuser, p)
+                    ]
+                    if targets:
+                        choice = ("accuse", accuser, targets[0])
+                        break
+        self._plan[generation] = choice
+        if choice is not None:
+            self.attack_log.append(
+                {
+                    "generation": generation,
+                    "play": choice[0],
+                    "actor": choice[1],
+                    "target": choice[2],
+                }
+            )
+        return choice
+
+    def matching_symbol(self, pid, recipient, honest_symbol, generation, view):
+        plan = self._plan_for(generation, view)
+        if plan is not None and plan[0] == "attack":
+            if (pid, recipient) == (plan[1], plan[2]):
+                return honest_symbol ^ 1
+        return honest_symbol
+
+    def m_vector(self, pid, honest_m, generation, view):
+        plan = self._plan_for(generation, view)
+        if plan is not None and plan[0] == "accuse" and pid == plan[1]:
+            return [False] * len(honest_m)
+        return honest_m
+
+    def detected_flag(self, pid, honest_flag, generation, view):
+        plan = self._plan_for(generation, view)
+        if plan is not None and plan[0] == "accuse" and pid == plan[1]:
+            return True
+        return honest_flag
+
+    def trust_vector(self, pid, honest_trust, generation, view):
+        plan = self._plan_for(generation, view)
+        if plan is not None and plan[0] == "accuse" and pid == plan[1]:
+            doctored = dict(honest_trust)
+            if plan[2] in doctored:
+                doctored[plan[2]] = False
+            return doctored
+        return honest_trust
+
+
+class RandomAdversary(Adversary):
+    """Seeded chaos monkey: every hook deviates with probability ``rate``.
+
+    Used by property-based tests: whatever this adversary does, the
+    protocol must keep Termination, Consistency and Validity (the paper's
+    algorithm is error-free against *arbitrary* behaviour).
+    """
+
+    def __init__(self, faulty: Sequence[int], seed: int = 0, rate: float = 0.5):
+        super().__init__(faulty)
+        self.rng = random.Random(seed)
+        self.rate = rate
+
+    def _deviate(self) -> bool:
+        return self.rng.random() < self.rate
+
+    def _random_symbol(self, view: GlobalView) -> int:
+        code = view.extras.get("code")
+        limit = code.symbol_limit if code is not None else 2
+        return self.rng.randrange(limit)
+
+    def input_value(self, pid, honest_input, view):
+        bits = view.extras.get("l_bits", 8)
+        if self._deviate():
+            return self.rng.randrange(1 << min(bits, 48))
+        return honest_input
+
+    def matching_symbol(self, pid, recipient, honest_symbol, generation, view):
+        if self._deviate():
+            if self._deviate():
+                return None
+            return self._random_symbol(view)
+        return honest_symbol
+
+    def m_vector(self, pid, honest_m, generation, view):
+        if self._deviate():
+            return [self.rng.random() < 0.5 for _ in honest_m]
+        return honest_m
+
+    def detected_flag(self, pid, honest_flag, generation, view):
+        if self._deviate():
+            return not honest_flag
+        return honest_flag
+
+    def diagnosis_symbol(self, pid, honest_symbol, generation, view):
+        if self._deviate():
+            return self._random_symbol(view)
+        return honest_symbol
+
+    def trust_vector(self, pid, honest_trust, generation, view):
+        if self._deviate():
+            return {
+                peer: self.rng.random() < 0.5 for peer in honest_trust
+            }
+        return honest_trust
+
+    def bsb_source_bit(self, source, recipient, honest_bit, instance, view):
+        if self._deviate():
+            return self.rng.randrange(2)
+        return honest_bit
+
+    def ideal_broadcast_bit(self, source, honest_bit, instance, view):
+        if self._deviate():
+            return honest_bit ^ 1
+        return honest_bit
+
+    def king_value(self, pid, recipient, phase, honest_value, instance, view):
+        if self._deviate():
+            return self.rng.randrange(2)
+        return honest_value
+
+    def king_proposal(self, pid, recipient, phase, honest_proposal, instance, view):
+        if self._deviate():
+            return self.rng.choice([None, 0, 1])
+        return honest_proposal
+
+    def king_bit(self, pid, recipient, phase, honest_bit, instance, view):
+        if self._deviate():
+            return self.rng.randrange(2)
+        return honest_bit
+
+    def eig_relay(self, pid, recipient, path, honest_value, instance, view):
+        if self._deviate():
+            return self.rng.randrange(2)
+        return honest_value
+
+    def source_symbol(self, source, recipient, honest_symbol, generation, view):
+        if self._deviate():
+            return self._random_symbol(view)
+        return honest_symbol
+
+    def forwarded_symbol(self, pid, recipient, honest_symbol, generation, view):
+        if self._deviate():
+            return self._random_symbol(view)
+        return honest_symbol
+
+    def source_codeword(self, source, honest_codeword, generation, view):
+        if self._deviate():
+            return [self._random_symbol(view) for _ in honest_codeword]
+        return list(honest_codeword)
+
+
+class CollidingInputAdversary(Adversary):
+    """Adversary for the Fitzi-Hirt error-probability experiment (E6).
+
+    Faulty "happy" processors deliver ``forged_value`` — crafted off-line to
+    collide with the honest value under the baseline's universal hash —
+    instead of the value the agreed digest commits to.  Against Fitzi-Hirt
+    this succeeds whenever the collision is genuine; against the
+    error-free algorithm the same behaviour is caught by the checking
+    stage.
+    """
+
+    def __init__(self, faulty: Sequence[int], forged_value: int):
+        super().__init__(faulty)
+        self.forged_value = forged_value
+
+    def delivery_value(self, pid: int, honest_value: int, view: GlobalView) -> int:
+        """Value a faulty processor hands over in FH delivery (hook used by
+        the baseline, not by Algorithm 1)."""
+        return self.forged_value
+
+
+class TrustPoisoningAdversary(Adversary):
+    """Faulty processors lie in the diagnosis Trust vectors, accusing every
+    fault-free member of P_match.
+
+    This attacks line 3(e) directly: each false accusation removes an edge
+    between the liar and an honest processor — a *bad* edge, so Lemma 4's
+    soundness holds, and the over-degree rule (line 3(g)) isolates the
+    liar after it has squandered t+1 edges.  The faulty also trigger the
+    diagnosis stage by crying Detected whenever they sit outside P_match.
+    """
+
+    def detected_flag(self, pid, honest_flag, generation, view):
+        return True
+
+    def trust_vector(self, pid, honest_trust, generation, view):
+        return {
+            peer: False if peer not in self.faulty else flag
+            for peer, flag in honest_trust.items()
+        }
+
+
+class StagedEquivocationAdversary(Adversary):
+    """Faulty processors present codewords of a *different* value to a
+    chosen subset of peers, with M flags doctored to match both stories.
+
+    Unlike :class:`SymbolCorruptionAdversary` (which sends garbage), the
+    symbols here lie on a genuine codeword of ``alt_value``, so the lie is
+    self-consistent — the strongest form of equivocation.  The checking
+    stage still catches it: n - t symbols cannot straddle two codewords
+    without some fault-free outsider seeing an inconsistency.
+    """
+
+    def __init__(self, faulty: Sequence[int], deceived: Sequence[int],
+                 alt_value: int):
+        super().__init__(faulty)
+        self.deceived = set(deceived)
+        self.alt_value = alt_value
+
+    def _alt_symbol(self, pid: int, generation: int, view: GlobalView):
+        code = view.extras.get("code")
+        parts_of = view.extras.get("parts_of")
+        if code is None or parts_of is None:
+            return None
+        parts = parts_of(self.alt_value)
+        return code.encode(parts[generation])[pid]
+
+    def matching_symbol(self, pid, recipient, honest_symbol, generation, view):
+        if recipient in self.deceived:
+            alt = self._alt_symbol(pid, generation, view)
+            if alt is not None:
+                return alt
+        return honest_symbol
+
+    def m_vector(self, pid, honest_m, generation, view):
+        # Claim to match everyone: the pairwise condition lets the lie
+        # survive only where the counterpart also claims a match.
+        return [True] * len(honest_m)

@@ -1,0 +1,19 @@
+"""Utility helpers shared across the repro package."""
+
+from repro.utils.bits import (
+    bits_to_int,
+    bytes_to_symbols,
+    int_to_bits,
+    pack_symbols,
+    symbols_to_bytes,
+    unpack_symbols,
+)
+
+__all__ = [
+    "bits_to_int",
+    "int_to_bits",
+    "pack_symbols",
+    "unpack_symbols",
+    "bytes_to_symbols",
+    "symbols_to_bytes",
+]

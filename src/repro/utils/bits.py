@@ -1,0 +1,105 @@
+"""Bit- and symbol-packing helpers.
+
+The consensus protocol views an L-bit value as a sequence of generations,
+each generation as a vector of ``k = n - 2t`` symbols from ``GF(2^c)``.
+These helpers convert between Python integers, bit lists, byte strings and
+symbol vectors deterministically (big-endian bit order throughout), so that
+every processor derives an identical symbol view of the same input.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def int_to_bits(value: int, width: int) -> List[int]:
+    """Return ``width`` bits of ``value``, most-significant bit first.
+
+    Raises ``ValueError`` if ``value`` does not fit in ``width`` bits or is
+    negative.
+    """
+    if width < 0:
+        raise ValueError("width must be non-negative, got %d" % width)
+    if value < 0:
+        raise ValueError("value must be non-negative, got %d" % value)
+    if value >> width:
+        raise ValueError("value %d does not fit in %d bits" % (value, width))
+    if width == 0:
+        return []
+    # String formatting runs in C and avoids the quadratic cost of
+    # shifting a large int once per bit position.
+    return [1 if ch == "1" else 0 for ch in format(value, "0%db" % width)]
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Inverse of :func:`int_to_bits` (most-significant bit first)."""
+    bits = list(bits)
+    if not bits:
+        return 0
+    if any(bit not in (0, 1) for bit in bits):
+        bad = next(bit for bit in bits if bit not in (0, 1))
+        raise ValueError("bits must be 0 or 1, got %r" % (bad,))
+    # int(str, 2) parses in C; joining digits beats per-bit shifting of a
+    # growing big integer.
+    return int("".join("1" if bit else "0" for bit in bits), 2)
+
+
+def pack_symbols(symbols: Sequence[int], symbol_bits: int) -> int:
+    """Pack a symbol vector into a single integer, first symbol high."""
+    if symbol_bits <= 0:
+        raise ValueError("symbol_bits must be positive, got %d" % symbol_bits)
+    value = 0
+    for symbol in symbols:
+        if symbol < 0 or symbol >> symbol_bits:
+            raise ValueError(
+                "symbol %d does not fit in %d bits" % (symbol, symbol_bits)
+            )
+        value = (value << symbol_bits) | symbol
+    return value
+
+
+def unpack_symbols(value: int, count: int, symbol_bits: int) -> List[int]:
+    """Inverse of :func:`pack_symbols`.
+
+    Splits ``value`` into ``count`` symbols of ``symbol_bits`` bits each.
+    """
+    if symbol_bits <= 0:
+        raise ValueError("symbol_bits must be positive, got %d" % symbol_bits)
+    if count < 0:
+        raise ValueError("count must be non-negative, got %d" % count)
+    total_bits = count * symbol_bits
+    if value < 0 or (total_bits < value.bit_length()):
+        raise ValueError(
+            "value %d does not fit in %d symbols of %d bits"
+            % (value, count, symbol_bits)
+        )
+    mask = (1 << symbol_bits) - 1
+    return [
+        (value >> ((count - 1 - i) * symbol_bits)) & mask for i in range(count)
+    ]
+
+
+def bytes_to_symbols(data: bytes, symbol_bits: int) -> List[int]:
+    """Split ``data`` into symbols of ``symbol_bits`` bits (MSB first).
+
+    The total bit length of ``data`` must be a multiple of ``symbol_bits``.
+    """
+    total_bits = 8 * len(data)
+    if total_bits % symbol_bits:
+        raise ValueError(
+            "%d bits of data not divisible into %d-bit symbols"
+            % (total_bits, symbol_bits)
+        )
+    value = int.from_bytes(data, "big")
+    return unpack_symbols(value, total_bits // symbol_bits, symbol_bits)
+
+
+def symbols_to_bytes(symbols: Sequence[int], symbol_bits: int) -> bytes:
+    """Inverse of :func:`bytes_to_symbols`."""
+    total_bits = len(symbols) * symbol_bits
+    if total_bits % 8:
+        raise ValueError(
+            "%d symbol bits do not form whole bytes" % total_bits
+        )
+    value = pack_symbols(symbols, symbol_bits)
+    return value.to_bytes(total_bits // 8, "big")

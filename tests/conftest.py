@@ -1,0 +1,35 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConsensusConfig, MultiValuedConsensus
+from repro.processors import Adversary
+
+
+#: (n, t) pairs covering the t < n/3 envelope at several scales.
+NT_PAIRS = [(4, 1), (5, 1), (7, 2), (10, 3), (13, 4)]
+
+
+def run_consensus(n, t, l_bits, inputs, adversary=None, backend="ideal",
+                  d_bits=None, **kwargs):
+    """One-call consensus run used across the integration tests."""
+    config = ConsensusConfig.create(
+        n=n, t=t, l_bits=l_bits, backend=backend, d_bits=d_bits, **kwargs
+    )
+    protocol = MultiValuedConsensus(config, adversary=adversary)
+    return protocol.run(inputs)
+
+
+def assert_error_free(result, expected=None):
+    """Assert the paper's three properties on a finished run."""
+    assert result.consistent, "consistency violated: %r" % (result.decisions,)
+    assert result.valid, "validity violated: %r" % (result.decisions,)
+    if expected is not None:
+        assert result.value == expected
+
+
+@pytest.fixture
+def honest_adversary():
+    return Adversary()

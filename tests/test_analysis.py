@@ -1,0 +1,189 @@
+"""Closed-form complexity models (Eq. (1)-(3) and §1/§4 comparisons)."""
+
+import math
+
+import pytest
+
+from repro.analysis.complexity import (
+    bitwise_baseline_bits,
+    broadcast_delivery_bits,
+    broadcast_optimal_d,
+    broadcast_total_bits,
+    checking_stage_bits,
+    consensus_total_bits,
+    consensus_total_bits_optimal,
+    crossover_vs_bitwise,
+    diagnosis_stage_bits,
+    fitzi_hirt_bits,
+    leading_term_per_bit,
+    matching_stage_bits,
+    optimal_d,
+    optimal_d_feasible,
+)
+
+
+N, T, B = 7, 2, 2 * 49
+
+
+class TestEquationOne:
+    def test_matching_formula(self):
+        # n(n-1)/(n-2t) D + n(n-1) B
+        d = 24
+        expected = 7 * 6 * d / 3 + 7 * 6 * B
+        assert matching_stage_bits(N, T, d, B) == expected
+
+    def test_checking_formula(self):
+        assert checking_stage_bits(N, T, B) == T * B
+
+    def test_diagnosis_formula(self):
+        d = 24
+        expected = (7 - 2) * d * B / 3 + 7 * 5 * B
+        assert diagnosis_stage_bits(N, T, d, B) == expected
+
+    def test_total_combines_stages(self):
+        l_bits, d = 240, 24
+        generations = l_bits / d
+        expected = (
+            matching_stage_bits(N, T, d, B) + checking_stage_bits(N, T, B)
+        ) * generations + T * (T + 1) * diagnosis_stage_bits(N, T, d, B)
+        assert consensus_total_bits(N, T, l_bits, d, B) == expected
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            consensus_total_bits(N, T, 100, 0, B)
+        with pytest.raises(ValueError):
+            matching_stage_bits(4, 2, 8, B)  # n - 2t < 1
+
+
+class TestOptimalD:
+    def test_paper_formula(self):
+        l_bits = 10**6
+        expected = math.sqrt(
+            (N * N - N + T) * (N - 2 * T) * l_bits / (T * (T + 1) * (N - T))
+        )
+        assert optimal_d(N, T, l_bits, B) == pytest.approx(expected)
+
+    def test_scales_with_sqrt_l(self):
+        d1 = optimal_d(N, T, 10**4, B)
+        d2 = optimal_d(N, T, 4 * 10**4, B)
+        assert d2 == pytest.approx(2 * d1)
+
+    def test_t_zero_single_generation(self):
+        assert optimal_d(4, 0, 1024, B) == 1024.0
+
+    def test_near_optimality(self):
+        """The optimal D beats nearby D by Eq. (1)'s objective."""
+        l_bits = 10**6
+        d_star = optimal_d(N, T, l_bits, B)
+        best = consensus_total_bits(N, T, l_bits, d_star, B)
+        for factor in (0.25, 0.5, 2.0, 4.0):
+            assert consensus_total_bits(
+                N, T, l_bits, d_star * factor, B
+            ) >= best * 0.999
+
+    def test_feasible_is_valid_width(self):
+        from repro.coding.interleaved import make_symbol_code
+
+        for l_bits in (10, 1000, 10**6, 10**8):
+            d = optimal_d_feasible(N, T, l_bits, B)
+            k = N - 2 * T
+            assert d % k == 0
+            make_symbol_code(N, k, d // k)  # must not raise
+
+    def test_feasible_close_to_optimal(self):
+        l_bits = 10**6
+        d_star = optimal_d(N, T, l_bits, B)
+        d_feasible = optimal_d_feasible(N, T, l_bits, B)
+        assert abs(d_feasible - d_star) / d_star < 0.15
+
+    def test_feasible_capped_by_l(self):
+        d = optimal_d_feasible(N, T, 12, B)
+        assert d <= max(12, (N - 2 * T) * 3)
+
+
+class TestEquationTwoThree:
+    def test_leading_term(self):
+        assert leading_term_per_bit(N, T) == 7 * 6 / 3
+
+    def test_optimal_total_structure(self):
+        l_bits = 10**8
+        total = consensus_total_bits_optimal(N, T, l_bits, B)
+        leading = leading_term_per_bit(N, T) * l_bits
+        assert total > leading
+        # Eq. (3): overhead is O(L^0.5), so the ratio tends to 1.
+        assert total / leading < 1.05
+
+    def test_approaches_nl_for_large_l(self):
+        ratios = []
+        for exp in (4, 6, 8, 10):
+            l_bits = 10**exp
+            ratios.append(
+                consensus_total_bits_optimal(N, T, l_bits, B)
+                / (leading_term_per_bit(N, T) * l_bits)
+            )
+        assert ratios == sorted(ratios, reverse=True)
+        assert ratios[-1] < 1.005
+
+    def test_eq2_matches_eq1_at_optimal_d(self):
+        l_bits = 10**6
+        d_star = optimal_d(N, T, l_bits, B)
+        eq1 = consensus_total_bits(N, T, l_bits, d_star, B)
+        eq2 = consensus_total_bits_optimal(N, T, l_bits, B)
+        assert eq2 == pytest.approx(eq1, rel=0.05)
+
+
+class TestComparisons:
+    def test_bitwise_linear_in_l(self):
+        assert bitwise_baseline_bits(100, B) == 100 * B
+        with pytest.raises(ValueError):
+            bitwise_baseline_bits(100, 0)
+
+    def test_ours_beats_bitwise_for_large_l(self):
+        l_bits = 10**7
+        ours = consensus_total_bits_optimal(N, T, l_bits, B)
+        baseline = bitwise_baseline_bits(l_bits, B)
+        assert ours < baseline / 3
+
+    def test_crossover_exists_and_is_finite(self):
+        crossover = crossover_vs_bitwise(N, T, B)
+        assert 1 <= crossover < 10**9
+        # Above the crossover ours wins, below it loses.
+        above = 4 * crossover
+        assert consensus_total_bits_optimal(N, T, above, B) < (
+            bitwise_baseline_bits(above, B)
+        )
+
+    def test_fitzi_hirt_model(self):
+        l_bits, kappa = 10**6, 32
+        fh = fitzi_hirt_bits(N, T, l_bits, kappa, B)
+        # Same delivery leading term as ours.
+        assert fh > N * (N - 1) * l_bits / (N - 2 * T)
+        # For large L both are ~ nL; FH has no sqrt(L) term so it is
+        # slightly cheaper -- the price of its error probability.
+        ours = consensus_total_bits_optimal(N, T, l_bits, B)
+        assert fh < ours
+        assert ours / fh < 1.5
+
+
+class TestBroadcastModel:
+    def test_delivery_leading_term(self):
+        d = 600
+        assert broadcast_delivery_bits(N, T, d) == (
+            (N - 1) ** 2 * d / (N - 1 - T)
+        )
+
+    def test_delivery_within_1_5x(self):
+        for n in (4, 7, 10, 13, 16):
+            t = (n - 1) // 3
+            d = 1000.0
+            assert broadcast_delivery_bits(n, t, d) <= 1.5 * (n - 1) * d + 1e-9
+
+    def test_total_ratio_approaches_1_5(self):
+        ratios = []
+        for exp in (4, 6, 8, 10):
+            l_bits = 10**exp
+            d = broadcast_optimal_d(N, T, l_bits, B)
+            total = broadcast_total_bits(N, T, l_bits, d, B)
+            ratios.append(total / ((N - 1) * l_bits))
+        assert ratios == sorted(ratios, reverse=True)
+        assert ratios[-1] < 1.51

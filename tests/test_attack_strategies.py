@@ -1,0 +1,73 @@
+"""Protocol-level behaviour of the richer attack strategies."""
+
+import pytest
+
+from repro import ConsensusConfig, MultiValuedConsensus
+from repro.processors import (
+    StagedEquivocationAdversary,
+    TrustPoisoningAdversary,
+)
+
+
+def run(adversary, n=7, t=2, l_bits=120, d_bits=24, value=66):
+    config = ConsensusConfig.create(n=n, t=t, l_bits=l_bits, d_bits=d_bits)
+    protocol = MultiValuedConsensus(config, adversary=adversary)
+    return protocol, protocol.run([value] * n)
+
+
+class TestTrustPoisoning:
+    def test_liars_isolated_in_one_diagnosis(self):
+        protocol, result = run(TrustPoisoningAdversary(faulty=[5, 6]))
+        assert result.error_free and result.value == 66
+        # Each poisoner accused n - t honest processors, blowing through
+        # the t+1 over-degree threshold immediately (line 3(g)).
+        assert protocol.graph.isolated == {5, 6}
+        assert result.diagnosis_count == 1
+
+    def test_removed_edges_all_touch_liars(self):
+        protocol, result = run(TrustPoisoningAdversary(faulty=[5]))
+        for a, b in protocol.graph.removed_edges():
+            assert 5 in (a, b)
+
+    def test_poisoners_inside_match_are_inert(self):
+        # Low-pid poisoners land inside P_match; the Detected/Trust hooks
+        # they abuse are never consulted, so nothing happens.
+        protocol, result = run(TrustPoisoningAdversary(faulty=[0, 1]))
+        assert result.error_free
+        assert result.diagnosis_count == 0
+
+    def test_later_generations_undisturbed(self):
+        protocol, result = run(TrustPoisoningAdversary(faulty=[6]))
+        flags = [r.diagnosis_performed for r in result.generation_results]
+        assert flags[0] is True
+        assert not any(flags[1:])
+
+
+class TestStagedEquivocation:
+    def test_self_consistent_lie_still_caught(self):
+        adversary = StagedEquivocationAdversary(
+            faulty=[0, 1], deceived=[5, 6], alt_value=999
+        )
+        protocol, result = run(adversary)
+        assert result.error_free and result.value == 66
+        assert result.diagnosis_count >= 1
+        # Every removed edge joins a liar and a deceived victim.
+        for a, b in protocol.graph.removed_edges():
+            assert {a, b} <= {0, 1, 5, 6}
+            assert {a, b} & {0, 1}
+            assert {a, b} & {5, 6}
+
+    def test_decision_is_honest_value_not_alt(self):
+        adversary = StagedEquivocationAdversary(
+            faulty=[0, 1], deceived=[4, 5, 6], alt_value=0x77777
+        )
+        _, result = run(adversary)
+        assert result.value == 66
+
+    def test_alt_equals_honest_is_noop(self):
+        adversary = StagedEquivocationAdversary(
+            faulty=[0], deceived=[6], alt_value=66
+        )
+        _, result = run(adversary)
+        assert result.error_free
+        assert result.diagnosis_count == 0

@@ -1,0 +1,76 @@
+"""The §4 variant: tolerating t >= n/3 with a probabilistic broadcast."""
+
+import pytest
+
+from repro import ConsensusConfig, MultiValuedConsensus
+from repro.broadcast_bit import BernoulliForgingAdversary
+
+
+def make_config(kappa=16, l_bits=32):
+    return ConsensusConfig.create(
+        n=7, t=3, l_bits=l_bits, backend="dolev_strong",
+        allow_t_ge_n3=True, kappa=kappa,
+    )
+
+
+class TestBeyondOneThird:
+    def test_three_of_seven_faulty_agrees(self):
+        adversary = BernoulliForgingAdversary(faulty=[4, 5, 6], kappa=32,
+                                              seed=0)
+        protocol = MultiValuedConsensus(make_config(kappa=32),
+                                        adversary=adversary)
+        result = protocol.run([0xCAFE] * 7)
+        assert result.consistent and result.value == 0xCAFE
+
+    def test_passive_faulty_majority_boundary(self):
+        # t = 3 with n = 7: 3t = 9 > n; error-free would be impossible.
+        adversary = BernoulliForgingAdversary(faulty=[0, 1, 2], kappa=32,
+                                              seed=1)
+        protocol = MultiValuedConsensus(make_config(kappa=32),
+                                        adversary=adversary)
+        result = protocol.run([3] * 7)
+        assert result.consistent
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_no_forgery_no_error(self, seed):
+        """The paper: the modified algorithm errs *only* when the 1-bit
+        broadcast fails.  With unforgeable signatures it never errs."""
+        adversary = BernoulliForgingAdversary(faulty=[4, 5, 6], kappa=64,
+                                              seed=seed)
+        protocol = MultiValuedConsensus(make_config(kappa=64),
+                                        adversary=adversary)
+        result = protocol.run([0xBEE] * 7)
+        assert adversary.forgeries_succeeded == 0
+        assert result.consistent and result.value == 0xBEE
+
+    def test_errors_only_with_broadcast_disagreements(self):
+        """Across seeds, every inconsistent run coincides with at least one
+        broadcast-level disagreement (the substrate failing)."""
+        for seed in range(12):
+            adversary = BernoulliForgingAdversary(faulty=[4, 5, 6], kappa=2,
+                                                  seed=seed)
+            protocol = MultiValuedConsensus(make_config(kappa=2, l_bits=16),
+                                            adversary=adversary)
+            result = protocol.run([9] * 7)
+            if not (result.consistent and result.valid):
+                assert protocol.backend.stats.disagreements > 0
+
+    def test_leading_complexity_term_unchanged(self):
+        """§4: only the sub-linear-in-L term changes; the data path is the
+        same coded matching stage."""
+        config = make_config(kappa=16, l_bits=512)
+        protocol = MultiValuedConsensus(
+            config, adversary=BernoulliForgingAdversary(faulty=[6], kappa=16,
+                                                        seed=0),
+        )
+        result = protocol.run([1] * 7)
+        assert result.consistent
+        matching_symbols = sum(
+            bits
+            for tag, bits in result.meter.bits_by_tag.items()
+            if tag.endswith("matching.symbols")
+        )
+        # Data-path bits match the formula n(n-1)/(n-2t) * padded L.
+        config_k = config.data_symbols
+        padded = config.generations * config.d_bits
+        assert matching_symbols <= 7 * 6 * padded / config_k

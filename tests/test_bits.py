@@ -1,0 +1,122 @@
+"""Unit tests for bit/symbol packing helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    bits_to_int,
+    bytes_to_symbols,
+    int_to_bits,
+    pack_symbols,
+    symbols_to_bytes,
+    unpack_symbols,
+)
+
+
+class TestIntToBits:
+    def test_zero(self):
+        assert int_to_bits(0, 4) == [0, 0, 0, 0]
+
+    def test_msb_first(self):
+        assert int_to_bits(0b1010, 4) == [1, 0, 1, 0]
+
+    def test_leading_zeros(self):
+        assert int_to_bits(1, 8) == [0] * 7 + [1]
+
+    def test_zero_width(self):
+        assert int_to_bits(0, 0) == []
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(0, -1)
+
+
+class TestBitsToInt:
+    def test_empty(self):
+        assert bits_to_int([]) == 0
+
+    def test_msb_first(self):
+        assert bits_to_int([1, 0, 1, 0]) == 0b1010
+
+    def test_bad_bit_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_int([0, 2, 1])
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_roundtrip(self, value):
+        assert bits_to_int(int_to_bits(value, 64)) == value
+
+
+class TestPackSymbols:
+    def test_single(self):
+        assert pack_symbols([5], 4) == 5
+
+    def test_order_first_symbol_high(self):
+        assert pack_symbols([1, 2], 4) == 0x12
+
+    def test_symbol_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            pack_symbols([16], 4)
+
+    def test_zero_symbol_bits_rejected(self):
+        with pytest.raises(ValueError):
+            pack_symbols([0], 0)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), max_size=16),
+    )
+    def test_roundtrip(self, symbols):
+        packed = pack_symbols(symbols, 8)
+        assert unpack_symbols(packed, len(symbols), 8) == symbols
+
+
+class TestUnpackSymbols:
+    def test_empty(self):
+        assert unpack_symbols(0, 0, 4) == []
+
+    def test_value(self):
+        assert unpack_symbols(0xABC, 3, 4) == [0xA, 0xB, 0xC]
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_symbols(1 << 12, 3, 4)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_symbols(0, -1, 4)
+
+
+class TestByteConversions:
+    def test_bytes_roundtrip(self):
+        data = bytes([1, 2, 3, 4])
+        symbols = bytes_to_symbols(data, 8)
+        assert symbols == [1, 2, 3, 4]
+        assert symbols_to_bytes(symbols, 8) == data
+
+    def test_sub_byte_symbols(self):
+        assert bytes_to_symbols(b"\xab", 4) == [0xA, 0xB]
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_to_symbols(b"\xab", 3)
+
+    def test_partial_byte_rejected(self):
+        with pytest.raises(ValueError):
+            symbols_to_bytes([1, 2, 3], 4)  # 12 bits, not whole bytes
+
+    @given(st.binary(max_size=64))
+    def test_roundtrip_various(self, data):
+        for width in (4, 8, 16):
+            if (8 * len(data)) % width == 0:
+                assert symbols_to_bytes(
+                    bytes_to_symbols(data, width), width
+                ) == data

@@ -1,0 +1,118 @@
+"""ConsensusConfig validation and derivation rules."""
+
+import pytest
+
+from repro.core.config import BACKENDS, ConsensusConfig
+
+
+class TestCreate:
+    def test_derives_max_t(self):
+        assert ConsensusConfig.create(n=7, l_bits=64).t == 2
+        assert ConsensusConfig.create(n=10, l_bits=64).t == 3
+        assert ConsensusConfig.create(n=4, l_bits=64).t == 1
+
+    def test_derives_feasible_d(self):
+        config = ConsensusConfig.create(n=7, t=2, l_bits=10**6)
+        assert config.d_bits % config.data_symbols == 0
+        assert config.symbol_bits == config.d_bits // config.data_symbols
+
+    def test_explicit_d(self):
+        config = ConsensusConfig.create(n=7, t=2, l_bits=100, d_bits=24)
+        assert config.d_bits == 24 and config.symbol_bits == 8
+
+    def test_generations_ceiling(self):
+        config = ConsensusConfig.create(n=7, t=2, l_bits=100, d_bits=24)
+        assert config.generations == 5
+        assert config.padded_bits == 120
+
+    def test_data_symbols(self):
+        assert ConsensusConfig.create(n=7, t=2, l_bits=8).data_symbols == 3
+        assert ConsensusConfig.create(n=10, t=3, l_bits=8).data_symbols == 4
+
+
+class TestValidation:
+    def test_t_at_least_n_over_3_rejected(self):
+        with pytest.raises(ValueError):
+            ConsensusConfig.create(n=6, t=2, l_bits=8)
+        with pytest.raises(ValueError):
+            ConsensusConfig.create(n=3, t=1, l_bits=8)
+
+    def test_negative_t_rejected(self):
+        with pytest.raises(ValueError):
+            ConsensusConfig.create(n=7, t=-1, l_bits=8)
+
+    def test_zero_l_rejected(self):
+        with pytest.raises(ValueError):
+            ConsensusConfig.create(n=7, t=2, l_bits=0)
+
+    def test_d_not_multiple_of_k_rejected(self):
+        with pytest.raises(ValueError):
+            ConsensusConfig.create(n=7, t=2, l_bits=64, d_bits=10)
+
+    def test_symbol_too_narrow_rejected(self):
+        # n=7 needs c >= 3; d_bits = 6 gives c = 2.
+        with pytest.raises(ValueError):
+            ConsensusConfig.create(n=7, t=2, l_bits=64, d_bits=6)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            ConsensusConfig.create(n=7, t=2, l_bits=8, backend="magic")
+
+    def test_t_ge_n3_needs_flag_and_probabilistic_backend(self):
+        with pytest.raises(ValueError):
+            ConsensusConfig.create(n=7, t=3, l_bits=8)
+        with pytest.raises(ValueError):
+            ConsensusConfig.create(n=7, t=3, l_bits=8, allow_t_ge_n3=True,
+                                   backend="ideal")
+        config = ConsensusConfig.create(
+            n=7, t=3, l_bits=8, allow_t_ge_n3=True, backend="dolev_strong"
+        )
+        assert config.t == 3
+
+    def test_default_value_must_fit(self):
+        with pytest.raises(ValueError):
+            ConsensusConfig.create(n=7, t=2, l_bits=4, default_value=16)
+
+    def test_inconsistent_symbol_bits_rejected(self):
+        with pytest.raises(ValueError):
+            ConsensusConfig(n=7, t=2, l_bits=64, d_bits=24, symbol_bits=4)
+
+
+class TestFactories:
+    def test_make_code_dimensions(self):
+        config = ConsensusConfig.create(n=7, t=2, l_bits=64)
+        code = config.make_code()
+        assert code.n == 7 and code.k == 3
+        assert code.symbol_bits == config.symbol_bits
+
+    def test_make_code_interleaved_for_wide_symbols(self):
+        config = ConsensusConfig.create(n=7, t=2, l_bits=64, d_bits=3 * 48)
+        code = config.make_code()
+        assert code.symbol_bits == 48
+
+    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    def test_make_backend_all_names(self, name):
+        kwargs = {}
+        if name == "dolev_strong":
+            kwargs = {"allow_t_ge_n3": False}
+        config = ConsensusConfig.create(n=7, t=2, l_bits=8, backend=name)
+        from repro.network.metrics import BitMeter
+        from repro.processors import Adversary
+
+        backend = config.make_backend(BitMeter(), Adversary(), None)
+        assert backend.name == name
+
+    def test_custom_b_function_passed_to_ideal(self):
+        config = ConsensusConfig.create(
+            n=7, t=2, l_bits=8, b_function=lambda n: 5 * n
+        )
+        from repro.network.metrics import BitMeter
+        from repro.processors import Adversary
+
+        backend = config.make_backend(BitMeter(), Adversary(), None)
+        assert backend.bits_per_instance() == 35
+
+    def test_frozen(self):
+        config = ConsensusConfig.create(n=7, t=2, l_bits=8)
+        with pytest.raises(Exception):
+            config.n = 8

@@ -1,0 +1,245 @@
+"""End-to-end tests for the L-bit consensus algorithm."""
+
+import pytest
+
+from repro import ConsensusConfig, MultiValuedConsensus
+from repro.core.result import GenerationOutcome
+from repro.processors import (
+    Adversary,
+    CrashAdversary,
+    EquivocatingAdversary,
+    FalseAccusationAdversary,
+    FalseDetectionAdversary,
+    SlowBleedAdversary,
+    SymbolCorruptionAdversary,
+)
+from tests.conftest import NT_PAIRS, assert_error_free, run_consensus
+
+
+class TestHonestRuns:
+    @pytest.mark.parametrize("n,t", NT_PAIRS)
+    def test_all_equal_inputs(self, n, t):
+        result = run_consensus(n, t, 64, [0xABCD] * n)
+        assert_error_free(result, expected=0xABCD)
+        assert result.diagnosis_count == 0
+
+    @pytest.mark.parametrize("l_bits", [1, 7, 8, 24, 100, 129, 1024])
+    def test_various_lengths(self, l_bits):
+        value = (1 << l_bits) - 1  # all-ones stresses padding edges
+        result = run_consensus(7, 2, l_bits, [value] * 7)
+        assert_error_free(result, expected=value)
+
+    def test_zero_value(self):
+        result = run_consensus(7, 2, 64, [0] * 7)
+        assert_error_free(result, expected=0)
+
+    def test_multi_generation_reassembly(self):
+        # Value with distinct per-generation content, indivisible tail.
+        value = int.from_bytes(bytes(range(1, 26)), "big")  # 200 bits
+        result = run_consensus(7, 2, 200, [value] * 7, d_bits=24)
+        assert_error_free(result, expected=value)
+        assert len(result.generation_results) == 9  # ceil(200/24)
+
+    def test_differing_inputs_with_majority(self):
+        inputs = [5, 5, 5, 5, 5, 6, 7]
+        result = run_consensus(7, 2, 16, inputs)
+        assert result.consistent and result.value == 5
+
+    def test_fragmented_inputs_default(self):
+        inputs = [1, 1, 2, 2, 3, 3, 4]
+        result = run_consensus(7, 2, 16, inputs)
+        assert result.consistent
+        assert result.default_used
+        assert result.value == 0
+        # The generation whose bits differ detects the fragmentation and
+        # terminates the whole algorithm (line 1(f)).
+        assert result.generation_results[-1].outcome is (
+            GenerationOutcome.NO_MATCH_DEFAULT
+        )
+        assert len(result.generation_results) < (
+            ConsensusConfig.create(n=7, t=2, l_bits=16).generations + 1
+        )
+
+    def test_custom_default_value(self):
+        inputs = [1, 1, 2, 2, 3, 3, 4]
+        result = run_consensus(7, 2, 16, inputs, default_value=0xBEEF)
+        assert result.value == 0xBEEF
+
+    def test_t_zero_fast_path(self):
+        result = run_consensus(4, 0, 64, [123] * 4)
+        assert_error_free(result, expected=123)
+        assert len(result.generation_results) == 1  # D = L when t = 0
+
+
+class TestInputValidation:
+    def test_wrong_input_count(self):
+        config = ConsensusConfig.create(n=7, t=2, l_bits=8)
+        with pytest.raises(ValueError):
+            MultiValuedConsensus(config).run([1] * 6)
+
+    def test_oversized_input(self):
+        config = ConsensusConfig.create(n=7, t=2, l_bits=8)
+        with pytest.raises(ValueError):
+            MultiValuedConsensus(config).run([256] * 7)
+
+    def test_too_many_faulty(self):
+        config = ConsensusConfig.create(n=7, t=2, l_bits=8)
+        with pytest.raises(ValueError):
+            MultiValuedConsensus(config, adversary=Adversary([0, 1, 2]))
+
+
+class TestPartsPlumbing:
+    def test_parts_roundtrip(self):
+        config = ConsensusConfig.create(n=7, t=2, l_bits=100, d_bits=24)
+        protocol = MultiValuedConsensus(config)
+        value = (1 << 100) - 12345
+        parts = protocol.parts_of(value)
+        assert len(parts) == config.generations
+        assert all(len(p) == config.data_symbols for p in parts)
+        assert protocol.value_of(parts) == value
+
+    def test_parts_of_oversized_rejected(self):
+        config = ConsensusConfig.create(n=7, t=2, l_bits=8)
+        protocol = MultiValuedConsensus(config)
+        with pytest.raises(ValueError):
+            protocol.parts_of(1 << 8)
+
+
+class TestAdversarialRuns:
+    @pytest.mark.parametrize("n,t", [(4, 1), (7, 2), (10, 3)])
+    def test_symbol_corruption_full_blast(self, n, t):
+        adversary = SymbolCorruptionAdversary(faulty=list(range(t)))
+        result = run_consensus(n, t, 64, [77] * n, adversary=adversary)
+        assert_error_free(result, expected=77)
+
+    def test_targeted_corruption_triggers_diagnosis(self):
+        adversary = SlowBleedAdversary(faulty=[0])
+        result = run_consensus(7, 2, 240, [99] * 7, adversary=adversary,
+                               d_bits=24)
+        assert_error_free(result, expected=99)
+        assert result.diagnosis_count >= 1
+
+    def test_crash_faults(self):
+        adversary = CrashAdversary(faulty=[2, 5], crash_generation=0)
+        result = run_consensus(7, 2, 64, [42] * 7, adversary=adversary)
+        assert_error_free(result, expected=42)
+
+    def test_late_crash(self):
+        adversary = CrashAdversary(faulty=[2, 5], crash_generation=2)
+        result = run_consensus(7, 2, 96, [42] * 7, adversary=adversary,
+                               d_bits=24)
+        assert_error_free(result, expected=42)
+
+    def test_false_accusation(self):
+        adversary = FalseAccusationAdversary(faulty=[0, 1])
+        result = run_consensus(7, 2, 64, [13] * 7, adversary=adversary)
+        assert_error_free(result, expected=13)
+
+    def test_false_detection_isolates_liar(self):
+        adversary = FalseDetectionAdversary(faulty=[6])
+        result = run_consensus(7, 2, 96, [55] * 7, adversary=adversary,
+                               d_bits=24)
+        assert_error_free(result, expected=55)
+        # After its first lie the liar is isolated: diagnosis happens once.
+        assert result.diagnosis_count == 1
+
+    def test_equivocating_inputs(self):
+        adversary = EquivocatingAdversary(faulty=[5, 6], split=3,
+                                          alt_value=1234)
+        result = run_consensus(7, 2, 64, [999] * 7, adversary=adversary)
+        assert_error_free(result, expected=999)
+
+    def test_faulty_input_substitution(self):
+        class LyingInput(Adversary):
+            def input_value(self, pid, honest_input, view):
+                return honest_input ^ 0xFFFF
+
+        result = run_consensus(
+            7, 2, 16, [0xAAAA] * 7, adversary=LyingInput([5, 6])
+        )
+        assert_error_free(result, expected=0xAAAA)
+
+    def test_adversary_cannot_force_validity_violation(self):
+        # All honest share v: whatever two faulty do, output must be v.
+        for cls in (SymbolCorruptionAdversary, FalseAccusationAdversary,
+                    FalseDetectionAdversary):
+            adversary = cls(faulty=[3, 4])
+            result = run_consensus(7, 2, 48, [0x123456] * 7,
+                                   adversary=adversary)
+            assert_error_free(result, expected=0x123456)
+
+
+class TestDiagnosisBound:
+    @pytest.mark.parametrize("n,t", [(4, 1), (7, 2), (10, 3)])
+    def test_theorem1_bound(self, n, t):
+        """Theorem 1: the diagnosis stage runs at most t(t+1) times."""
+        k = n - 2 * t
+        generations = t * (t + 1) + 5
+        adversary = SlowBleedAdversary(faulty=list(range(t)))
+        result = run_consensus(
+            n, t, k * 8 * generations, [7] * n, adversary=adversary,
+            d_bits=k * 8,
+        )
+        assert_error_free(result, expected=7)
+        assert result.diagnosis_count <= t * (t + 1)
+
+    def test_isolated_stay_isolated(self):
+        adversary = FalseDetectionAdversary(faulty=[6])
+        config = ConsensusConfig.create(n=7, t=2, l_bits=96, d_bits=24)
+        protocol = MultiValuedConsensus(config, adversary=adversary)
+        result = protocol.run([11] * 7)
+        assert protocol.graph.is_isolated(6)
+        # Only the first generation performed diagnosis.
+        assert [r.diagnosis_performed for r in result.generation_results] == [
+            True, False, False, False,
+        ]
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", ["ideal", "phase_king"])
+    def test_backends_agree_on_result(self, backend):
+        adversary = SymbolCorruptionAdversary(faulty=[5], victims={5: [1]})
+        result = run_consensus(7, 2, 48, [321] * 7, adversary=adversary,
+                               backend=backend)
+        assert_error_free(result, expected=321)
+
+    def test_eig_small_network(self):
+        result = run_consensus(4, 1, 16, [9] * 4, backend="eig")
+        assert_error_free(result, expected=9)
+
+    def test_phase_king_with_diagnosis(self):
+        adversary = SlowBleedAdversary(faulty=[1])
+        result = run_consensus(7, 2, 72, [64] * 7, adversary=adversary,
+                               backend="phase_king", d_bits=24)
+        assert_error_free(result, expected=64)
+        assert result.diagnosis_count >= 1
+
+
+class TestMetering:
+    def test_total_bits_positive_and_reported(self):
+        result = run_consensus(7, 2, 64, [5] * 7)
+        assert result.total_bits > 0
+        assert result.meter.total_bits == result.total_bits
+
+    def test_stage_tags_present(self):
+        result = run_consensus(7, 2, 64, [5] * 7, d_bits=24)
+        tags = set(result.meter.bits_by_tag)
+        assert any(tag.startswith("gen0.matching.symbols") for tag in tags)
+        assert any(tag.startswith("gen0.matching.M") for tag in tags)
+        assert any(tag.startswith("gen0.checking") for tag in tags)
+
+    def test_diagnosis_tags_only_when_diagnosing(self):
+        clean = run_consensus(7, 2, 48, [5] * 7)
+        assert not any(
+            "diagnosis" in tag for tag in clean.meter.bits_by_tag
+        )
+        adversary = SlowBleedAdversary(faulty=[0])
+        dirty = run_consensus(7, 2, 48, [5] * 7, adversary=adversary)
+        assert any("diagnosis" in tag for tag in dirty.meter.bits_by_tag)
+
+    def test_no_match_is_cheap(self):
+        fragmented = run_consensus(7, 2, 4096, [1, 1, 2, 2, 3, 3, 4])
+        unanimous = run_consensus(7, 2, 4096, [1] * 7)
+        # Terminating at the first generation costs far less than running
+        # all generations.
+        assert fragmented.total_bits < unanimous.total_bits

@@ -1,0 +1,36 @@
+"""Execute the doctest examples embedded in the library's docstrings.
+
+The usage examples in module and class docstrings are part of the public
+documentation; this keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.coding.gf
+import repro.coding.interleaved
+import repro.coding.reed_solomon
+import repro.graphs.diagnosis_graph
+import repro.network.simulator
+import repro.processors.composite
+
+MODULES = [
+    repro.coding.gf,
+    repro.coding.reed_solomon,
+    repro.coding.interleaved,
+    repro.graphs.diagnosis_graph,
+    repro.network.simulator,
+    repro.processors.composite,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[module.__name__ for module in MODULES]
+)
+def test_module_doctests(module):
+    result = doctest.testmod(module)
+    assert result.attempted > 0, (
+        "expected at least one doctest in %s" % module.__name__
+    )
+    assert result.failed == 0

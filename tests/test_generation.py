@@ -1,0 +1,228 @@
+"""Single-generation tests for Algorithm 1's three stages."""
+
+import pytest
+
+from repro.broadcast_bit.ideal import AccountedIdealBroadcast
+from repro.core.config import ConsensusConfig
+from repro.core.generation import GenerationProtocol
+from repro.core.result import GenerationOutcome
+from repro.graphs.diagnosis_graph import DiagnosisGraph
+from repro.network.simulator import SyncNetwork
+from repro.processors import (
+    Adversary,
+    FalseAccusationAdversary,
+    FalseDetectionAdversary,
+    SymbolCorruptionAdversary,
+)
+from repro.processors.adversary import GlobalView
+
+
+def make_protocol(n=7, t=2, adversary=None, graph=None, generation=0):
+    config = ConsensusConfig.create(n=n, t=t, l_bits=8 * (n - 2 * t),
+                                    d_bits=8 * (n - 2 * t))
+    adversary = adversary if adversary is not None else Adversary()
+    graph = graph if graph is not None else DiagnosisGraph(n)
+    code = config.make_code()
+    network = SyncNetwork(n)
+
+    def view():
+        return GlobalView(
+            n=n, t=t, faulty=set(adversary.faulty),
+            extras={"code": code, "diag_graph": graph, "generation": generation},
+        )
+
+    backend = AccountedIdealBroadcast(n, t, network.meter, adversary, view)
+    protocol = GenerationProtocol(
+        config=config, code=code, network=network, graph=graph,
+        backend=backend, adversary=adversary, generation=generation,
+        view_provider=view,
+    )
+    return protocol, config, graph
+
+
+def equal_parts(n, k, base=3):
+    return {pid: [base + i for i in range(k)] for pid in range(n)}
+
+
+class TestMatchingStage:
+    def test_unanimous_inputs_decide_in_checking(self):
+        protocol, config, _ = make_protocol()
+        parts = equal_parts(7, config.data_symbols)
+        result = protocol.run(parts, [0] * config.data_symbols)
+        assert result.outcome is GenerationOutcome.DECIDED_CHECKING
+        assert result.p_match is not None and len(result.p_match) == 5
+        for decision in result.decisions.values():
+            assert list(decision) == parts[0]
+
+    def test_fragmented_inputs_no_match(self):
+        protocol, config, _ = make_protocol()
+        k = config.data_symbols
+        parts = {pid: [pid % 4 + 1] * k for pid in range(7)}
+        result = protocol.run(parts, [9] * k)
+        assert result.outcome is GenerationOutcome.NO_MATCH_DEFAULT
+        assert result.p_match is None
+        for decision in result.decisions.values():
+            assert list(decision) == [9] * k
+
+    def test_majority_subset_matches(self):
+        protocol, config, _ = make_protocol()
+        k = config.data_symbols
+        parts = {pid: [5] * k for pid in range(7)}
+        parts[5] = [6] * k
+        parts[6] = [7] * k
+        result = protocol.run(parts, [0] * k)
+        assert result.outcome is GenerationOutcome.DECIDED_CHECKING
+        assert set(result.p_match) == {0, 1, 2, 3, 4}
+        for decision in result.decisions.values():
+            assert list(decision) == [5] * k
+
+    def test_all_false_accusers_excluded(self):
+        adversary = FalseAccusationAdversary(faulty=[0, 1])
+        protocol, config, _ = make_protocol(adversary=adversary)
+        k = config.data_symbols
+        result = protocol.run(equal_parts(7, k), [0] * k)
+        assert result.outcome is GenerationOutcome.DECIDED_CHECKING
+        assert 0 not in result.p_match and 1 not in result.p_match
+
+    def test_isolated_processors_cannot_join_match(self):
+        # Only identified-faulty processors are ever isolated (Lemma 4),
+        # so the isolated pid is adversary-controlled here.
+        graph = DiagnosisGraph(7)
+        graph.isolate(6)
+        protocol, config, _ = make_protocol(
+            adversary=Adversary(faulty=[6]), graph=graph
+        )
+        k = config.data_symbols
+        result = protocol.run(equal_parts(7, k), [0] * k)
+        assert result.outcome is GenerationOutcome.DECIDED_CHECKING
+        assert 6 not in result.p_match
+
+    def test_wrong_part_length_rejected(self):
+        protocol, config, _ = make_protocol()
+        parts = equal_parts(7, config.data_symbols)
+        parts[3] = parts[3][:-1]
+        with pytest.raises(ValueError):
+            protocol.run(parts, [0] * config.data_symbols)
+
+
+class TestCheckingStage:
+    def test_corruption_to_outsider_triggers_diagnosis(self):
+        # Faulty 0 corrupts its symbol towards 6; P_match = {0..4} keeps 0
+        # inside and 6 outside, so 6 detects.
+        adversary = SymbolCorruptionAdversary(faulty=[0], victims={0: [6]})
+        protocol, config, _ = make_protocol(adversary=adversary)
+        k = config.data_symbols
+        result = protocol.run(equal_parts(7, k), [0] * k)
+        assert result.outcome is GenerationOutcome.DECIDED_DIAGNOSIS
+        assert 6 in result.detectors
+        for decision in result.decisions.values():
+            assert list(decision) == equal_parts(7, k)[0]
+
+    def test_corruption_inside_match_is_invisible(self):
+        # Corrupting another P_match member flips the M bits, so the match
+        # set simply forms without the attacker: no diagnosis needed.
+        adversary = SymbolCorruptionAdversary(faulty=[6], victims={6: [0]})
+        protocol, config, _ = make_protocol(adversary=adversary)
+        k = config.data_symbols
+        result = protocol.run(equal_parts(7, k), [0] * k)
+        assert result.outcome is GenerationOutcome.DECIDED_CHECKING
+        assert 6 not in result.p_match
+
+    def test_silent_trusted_member_detected(self):
+        class SilentToOne(Adversary):
+            def matching_symbol(self, pid, recipient, honest, generation, view):
+                if recipient == 6:
+                    return None
+                return honest
+
+        protocol, config, _ = make_protocol(adversary=SilentToOne([0]))
+        k = config.data_symbols
+        result = protocol.run(equal_parts(7, k), [0] * k)
+        assert result.outcome is GenerationOutcome.DECIDED_DIAGNOSIS
+        assert 6 in result.detectors
+
+
+class TestDiagnosisStage:
+    def test_removed_edge_is_bad(self):
+        adversary = SymbolCorruptionAdversary(faulty=[0], victims={0: [6]})
+        protocol, config, graph = make_protocol(adversary=adversary)
+        k = config.data_symbols
+        result = protocol.run(equal_parts(7, k), [0] * k)
+        assert result.removed_edges == [(0, 6)]
+        assert not graph.trusts(0, 6)
+
+    def test_fault_free_clique_preserved(self):
+        adversary = SymbolCorruptionAdversary(faulty=[0, 1])
+        protocol, config, graph = make_protocol(adversary=adversary)
+        k = config.data_symbols
+        protocol.run(equal_parts(7, k), [0] * k)
+        for i in range(2, 7):
+            for j in range(2, 7):
+                assert graph.trusts(i, j)
+
+    def test_false_detector_isolated(self):
+        adversary = FalseDetectionAdversary(faulty=[6])
+        protocol, config, graph = make_protocol(adversary=adversary)
+        k = config.data_symbols
+        result = protocol.run(equal_parts(7, k), [0] * k)
+        assert result.outcome is GenerationOutcome.DECIDED_DIAGNOSIS
+        # Line 3(f): consistent R#, no edge at 6 removed -> liar isolated.
+        assert graph.is_isolated(6)
+        assert 6 in result.isolated
+
+    def test_decision_matches_match_set_value(self):
+        adversary = SymbolCorruptionAdversary(faulty=[0], victims={0: [5]})
+        protocol, config, _ = make_protocol(adversary=adversary)
+        k = config.data_symbols
+        parts = equal_parts(7, k, base=7)
+        result = protocol.run(parts, [0] * k)
+        # Lemma 5: decision equals the fault-free P_match members' input.
+        for decision in result.decisions.values():
+            assert list(decision) == parts[1]
+
+    def test_p_decide_within_p_match(self):
+        adversary = SymbolCorruptionAdversary(faulty=[0], victims={0: [6]})
+        protocol, config, _ = make_protocol(adversary=adversary)
+        k = config.data_symbols
+        result = protocol.run(equal_parts(7, k), [0] * k)
+        assert result.p_decide is not None
+        assert set(result.p_decide) <= set(result.p_match)
+        assert len(result.p_decide) == 7 - 2 * 2
+
+    def test_lying_diagnosis_broadcast_loses_edges(self):
+        class LyingBroadcast(SymbolCorruptionAdversary):
+            def diagnosis_symbol(self, pid, honest_symbol, generation, view):
+                return honest_symbol ^ 1
+
+        adversary = LyingBroadcast(faulty=[0], victims={0: [6]})
+        protocol, config, graph = make_protocol(adversary=adversary)
+        k = config.data_symbols
+        result = protocol.run(equal_parts(7, k), [0] * k)
+        # 0 broadcast a symbol different from what it actually sent to the
+        # honest P_match members: they all distrust 0 now.
+        assert result.outcome is GenerationOutcome.DECIDED_DIAGNOSIS
+        assert graph.removed_edges_at(0) >= 2
+        for decision in result.decisions.values():
+            assert list(decision) == equal_parts(7, k)[1]
+
+
+class TestMinimalConfiguration:
+    def test_n4_t1(self):
+        protocol, config, _ = make_protocol(n=4, t=1)
+        k = config.data_symbols
+        result = protocol.run(equal_parts(4, k), [0] * k)
+        assert result.outcome is GenerationOutcome.DECIDED_CHECKING
+
+    def test_n4_t1_with_fault(self):
+        adversary = SymbolCorruptionAdversary(faulty=[0], victims={0: [3]})
+        protocol, config, _ = make_protocol(n=4, t=1, adversary=adversary)
+        k = config.data_symbols
+        result = protocol.run(equal_parts(4, k), [0] * k)
+        assert result.consistent
+
+    def test_t_zero(self):
+        protocol, config, _ = make_protocol(n=4, t=0)
+        k = config.data_symbols
+        result = protocol.run(equal_parts(4, k), [0] * k)
+        assert result.outcome is GenerationOutcome.DECIDED_CHECKING
+        assert len(result.p_match) == 4

@@ -1,0 +1,219 @@
+"""Field-axiom and operation tests for GF(2^c)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.gf import GF, GFElementError, PRIMITIVE_POLYNOMIALS
+
+
+@pytest.fixture(scope="module", params=[1, 2, 4, 8, 16])
+def field(request):
+    return GF.get(request.param)
+
+
+def elements(field, max_examples=None):
+    return st.integers(min_value=0, max_value=field.order - 1)
+
+
+class TestConstruction:
+    def test_all_supported_widths(self):
+        for c in PRIMITIVE_POLYNOMIALS:
+            assert GF.get(c).order == 1 << c
+
+    def test_unsupported_width(self):
+        with pytest.raises(ValueError):
+            GF(17)
+
+    def test_cache_identity(self):
+        assert GF.get(8) is GF.get(8)
+
+    def test_equality_and_hash(self):
+        assert GF.get(4) == GF(4)
+        assert hash(GF.get(4)) == hash(GF(4))
+        assert GF.get(4) != GF.get(8)
+
+    def test_repr(self):
+        assert repr(GF.get(8)) == "GF(2^8)"
+
+
+class TestExpLogTables:
+    def test_exp_cycles_through_all_nonzero(self, field):
+        seen = {int(field._exp[i]) for i in range(field.order - 1)}
+        assert seen == set(range(1, field.order))
+
+    def test_log_exp_inverse(self, field):
+        for value in range(1, min(field.order, 300)):
+            assert int(field._exp[field._log[value]]) == value
+
+
+class TestArithmetic:
+    def test_add_is_xor(self, field):
+        a, b = 1, field.order - 1
+        assert field.add(a, b) == a ^ b
+
+    def test_sub_equals_add(self, field):
+        assert field.sub(3 % field.order, 1) == field.add(3 % field.order, 1)
+
+    def test_mul_zero(self, field):
+        assert field.mul(0, field.order - 1) == 0
+        assert field.mul(field.order - 1, 0) == 0
+
+    def test_mul_one_identity(self, field):
+        for value in range(min(field.order, 64)):
+            assert field.mul(1, value) == value
+
+    def test_known_gf256_product(self):
+        # Schoolbook carry-less multiply mod 0x11D.
+        field = GF.get(8)
+        assert field.mul(0x57, 0x83) == 0x31
+
+    def test_div_by_zero(self, field):
+        with pytest.raises(GFElementError):
+            field.div(1, 0)
+
+    def test_inv_zero(self, field):
+        with pytest.raises(GFElementError):
+            field.inv(0)
+
+    def test_out_of_range_rejected(self, field):
+        with pytest.raises(GFElementError):
+            field.mul(field.order, 1)
+        with pytest.raises(GFElementError):
+            field.add(-1, 0)
+
+    def test_inverse_property(self, field):
+        for value in range(1, min(field.order, 128)):
+            assert field.mul(value, field.inv(value)) == 1
+
+    def test_pow_zero_exponent(self, field):
+        assert field.pow(0, 0) == 1
+        assert field.pow(1, 0) == 1
+
+    def test_pow_matches_repeated_mul(self, field):
+        a = field.order - 1
+        acc = 1
+        for e in range(6):
+            assert field.pow(a, e) == acc
+            acc = field.mul(acc, a)
+
+    def test_pow_negative(self, field):
+        a = min(3, field.order - 1)
+        if a == 0:
+            pytest.skip("field too small")
+        assert field.mul(field.pow(a, -1), a) == 1
+
+    def test_pow_zero_base_negative_exponent(self, field):
+        with pytest.raises(GFElementError):
+            field.pow(0, -1)
+
+
+class TestFieldAxiomsHypothesis:
+    @given(st.data())
+    @settings(max_examples=100)
+    def test_mul_commutative_associative(self, data):
+        field = GF.get(8)
+        a = data.draw(st.integers(0, 255))
+        b = data.draw(st.integers(0, 255))
+        c = data.draw(st.integers(0, 255))
+        assert field.mul(a, b) == field.mul(b, a)
+        assert field.mul(field.mul(a, b), c) == field.mul(a, field.mul(b, c))
+
+    @given(st.data())
+    @settings(max_examples=100)
+    def test_distributivity(self, data):
+        field = GF.get(8)
+        a = data.draw(st.integers(0, 255))
+        b = data.draw(st.integers(0, 255))
+        c = data.draw(st.integers(0, 255))
+        left = field.mul(a, field.add(b, c))
+        right = field.add(field.mul(a, b), field.mul(a, c))
+        assert left == right
+
+    @given(st.data())
+    @settings(max_examples=100)
+    def test_div_inverts_mul(self, data):
+        field = GF.get(8)
+        a = data.draw(st.integers(0, 255))
+        b = data.draw(st.integers(1, 255))
+        assert field.div(field.mul(a, b), b) == a
+
+
+class TestPolynomialOps:
+    def test_poly_eval_constant(self, field):
+        assert field.poly_eval([1], 0) == 1
+        assert field.poly_eval([1], field.order - 1) == 1
+
+    def test_poly_eval_linear(self):
+        field = GF.get(8)
+        # p(x) = 3 + 2x at x=5: 3 ^ mul(2,5)
+        assert field.poly_eval([3, 2], 5) == 3 ^ field.mul(2, 5)
+
+    def test_poly_eval_empty(self, field):
+        assert field.poly_eval([], 1) == 0
+
+    def test_lagrange_through_points(self):
+        field = GF.get(8)
+        points = [1, 2, 3, 4]
+        values = [10, 20, 30, 40]
+        coeffs = field.lagrange_interpolate(points, values)
+        assert len(coeffs) == 4
+        for x, y in zip(points, values):
+            assert field.poly_eval(coeffs, x) == y
+
+    def test_lagrange_degree_bound(self):
+        field = GF.get(8)
+        # Values from an actual low-degree polynomial come back exactly.
+        original = [7, 11, 0]
+        points = [1, 2, 3, 4, 5]
+        values = [field.poly_eval(original, x) for x in points]
+        coeffs = field.lagrange_interpolate(points, values)
+        assert coeffs[:3] == original
+        assert all(c == 0 for c in coeffs[3:])
+
+    def test_lagrange_duplicate_points_rejected(self):
+        field = GF.get(8)
+        with pytest.raises(ValueError):
+            field.lagrange_interpolate([1, 1], [2, 3])
+
+    def test_lagrange_length_mismatch_rejected(self):
+        field = GF.get(8)
+        with pytest.raises(ValueError):
+            field.lagrange_interpolate([1, 2], [3])
+
+
+class TestMatvec:
+    def test_identity_matrix(self):
+        import numpy as np
+
+        field = GF.get(8)
+        eye = np.eye(4, dtype=np.int64)
+        assert field.matvec(eye, [9, 8, 7, 6]) == [9, 8, 7, 6]
+
+    def test_matches_scalar_ops(self):
+        import numpy as np
+
+        field = GF.get(8)
+        rng = np.random.default_rng(7)
+        matrix = rng.integers(0, 256, size=(5, 3))
+        vector = [3, 200, 77]
+        result = field.matvec(matrix, vector)
+        for i in range(5):
+            acc = 0
+            for j in range(3):
+                acc ^= field.mul(int(matrix[i, j]), vector[j])
+            assert result[i] == acc
+
+    def test_shape_mismatch_rejected(self):
+        import numpy as np
+
+        field = GF.get(8)
+        with pytest.raises(ValueError):
+            field.matvec(np.zeros((2, 3), dtype=np.int64), [1, 2])
+
+    def test_out_of_field_vector_rejected(self):
+        import numpy as np
+
+        field = GF.get(4)
+        with pytest.raises(GFElementError):
+            field.matvec(np.zeros((1, 1), dtype=np.int64), [16])

@@ -1,0 +1,210 @@
+"""Diagnosis graph and clique search."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.cliques import find_clique
+from repro.graphs.diagnosis_graph import DiagnosisGraph
+
+
+def complete_adjacency(n):
+    return {i: set(range(n)) - {i} for i in range(n)}
+
+
+class TestFindClique:
+    def test_complete_graph(self):
+        clique = find_clique(complete_adjacency(5), 4)
+        assert clique == [0, 1, 2, 3]
+
+    def test_size_zero(self):
+        assert find_clique(complete_adjacency(3), 0) == []
+
+    def test_no_clique(self):
+        adjacency = {0: {1}, 1: {0}, 2: set()}
+        assert find_clique(adjacency, 3) is None
+
+    def test_exact_triangle(self):
+        adjacency = {0: {1, 2}, 1: {0, 2}, 2: {0, 1}, 3: set()}
+        assert find_clique(adjacency, 3) == [0, 1, 2]
+
+    def test_candidates_restriction(self):
+        adjacency = complete_adjacency(6)
+        clique = find_clique(adjacency, 3, candidates=[3, 4, 5])
+        assert clique == [3, 4, 5]
+
+    def test_deterministic_lexicographic(self):
+        # Two disjoint triangles; search must return the lexicographically
+        # first one every time (fault-free processors must agree on it).
+        adjacency = {
+            0: {1, 2}, 1: {0, 2}, 2: {0, 1},
+            3: {4, 5}, 4: {3, 5}, 5: {3, 4},
+        }
+        for _ in range(3):
+            assert find_clique(adjacency, 3) == [0, 1, 2]
+
+    def test_skips_blocked_low_vertices(self):
+        # Vertex 0 has high degree but its neighbourhood is sparse.
+        adjacency = {
+            0: {1, 2, 3}, 1: {0}, 2: {0}, 3: {0},
+            4: {5, 6}, 5: {4, 6}, 6: {4, 5},
+        }
+        assert find_clique(adjacency, 3) == [4, 5, 6]
+
+    def test_missing_candidate_vertices_ignored(self):
+        adjacency = {0: {1}, 1: {0}}
+        assert find_clique(adjacency, 2, candidates=[0, 1, 9]) == [0, 1]
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_returned_set_is_clique(self, data):
+        n = data.draw(st.integers(3, 9))
+        edges = data.draw(
+            st.sets(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                max_size=n * n,
+            )
+        )
+        adjacency = {i: set() for i in range(n)}
+        for a, b in edges:
+            if a != b:
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+        size = data.draw(st.integers(1, n))
+        clique = find_clique(adjacency, size)
+        if clique is not None:
+            assert len(clique) == size
+            for i in clique:
+                for j in clique:
+                    if i != j:
+                        assert j in adjacency[i]
+
+
+class TestDiagnosisGraph:
+    def test_starts_complete(self):
+        graph = DiagnosisGraph(5)
+        for i in range(5):
+            for j in range(5):
+                assert graph.trusts(i, j)
+        assert len(graph.edges()) == 10
+
+    def test_self_trust(self):
+        graph = DiagnosisGraph(3)
+        assert graph.trusts(1, 1)
+
+    def test_remove_edge(self):
+        graph = DiagnosisGraph(4)
+        assert graph.remove_edge(0, 1)
+        assert not graph.trusts(0, 1)
+        assert not graph.trusts(1, 0)
+        assert graph.removed_edges() == [(0, 1)]
+
+    def test_remove_twice_is_noop(self):
+        graph = DiagnosisGraph(4)
+        assert graph.remove_edge(0, 1)
+        assert not graph.remove_edge(0, 1)
+
+    def test_remove_self_edge_rejected(self):
+        graph = DiagnosisGraph(4)
+        with pytest.raises(ValueError):
+            graph.remove_edge(2, 2)
+
+    def test_removed_edges_at(self):
+        graph = DiagnosisGraph(5)
+        graph.remove_edge(0, 1)
+        graph.remove_edge(0, 2)
+        assert graph.removed_edges_at(0) == 2
+        assert graph.removed_edges_at(1) == 1
+        assert graph.removed_edges_at(3) == 0
+
+    def test_degree(self):
+        graph = DiagnosisGraph(5)
+        assert graph.degree(0) == 4
+        graph.remove_edge(0, 4)
+        assert graph.degree(0) == 3
+
+    def test_isolate(self):
+        graph = DiagnosisGraph(5)
+        graph.isolate(2)
+        assert graph.is_isolated(2)
+        assert graph.trusted_by(2) == set()
+        for other in (0, 1, 3, 4):
+            assert not graph.trusts(other, 2)
+        assert graph.isolated == {2}
+
+    def test_overdegree_rule(self):
+        graph = DiagnosisGraph(7)
+        t = 2
+        graph.remove_edge(0, 1)
+        graph.remove_edge(0, 2)
+        assert graph.apply_overdegree_rule(t) == []
+        graph.remove_edge(0, 3)  # t + 1 = 3 removed edges now
+        assert graph.apply_overdegree_rule(t) == [0]
+        assert graph.is_isolated(0)
+
+    def test_overdegree_does_not_reisolate(self):
+        graph = DiagnosisGraph(7)
+        graph.isolate(0)
+        assert graph.apply_overdegree_rule(2) == []
+
+    def test_find_trusting_set(self):
+        graph = DiagnosisGraph(6)
+        graph.remove_edge(0, 1)
+        clique = graph.find_trusting_set(5)
+        assert clique is not None
+        assert not (0 in clique and 1 in clique)
+
+    def test_find_trusting_set_with_candidates(self):
+        graph = DiagnosisGraph(6)
+        assert graph.find_trusting_set(3, candidates=[2, 3, 4]) == [2, 3, 4]
+
+    def test_find_trusting_set_none(self):
+        graph = DiagnosisGraph(4)
+        for j in range(1, 4):
+            graph.remove_edge(0, j)
+        assert graph.find_trusting_set(2, candidates=[0, 1]) is None
+
+    def test_copy_independent(self):
+        graph = DiagnosisGraph(4)
+        dup = graph.copy()
+        graph.remove_edge(0, 1)
+        assert dup.trusts(0, 1)
+        assert not graph.trusts(0, 1)
+
+    def test_bad_vertex_rejected(self):
+        graph = DiagnosisGraph(3)
+        with pytest.raises(ValueError):
+            graph.trusts(0, 3)
+        with pytest.raises(ValueError):
+            graph.remove_edge(-1, 0)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            DiagnosisGraph(1)
+
+    def test_repr(self):
+        graph = DiagnosisGraph(4)
+        graph.remove_edge(0, 1)
+        assert "removed=1" in repr(graph)
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_removal_bookkeeping(self, data):
+        n = data.draw(st.integers(3, 8))
+        graph = DiagnosisGraph(n)
+        pairs = data.draw(
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                max_size=20,
+            )
+        )
+        removed = set()
+        for a, b in pairs:
+            if a == b:
+                continue
+            graph.remove_edge(a, b)
+            removed.add(frozenset((a, b)))
+        assert len(graph.edges()) == n * (n - 1) // 2 - len(removed)
+        for i in range(n):
+            expected = sum(1 for e in removed if i in e)
+            assert graph.removed_edges_at(i) == expected

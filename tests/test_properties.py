@@ -1,0 +1,143 @@
+"""Property-based tests: the paper's guarantees under randomised adversaries.
+
+Whatever a (seeded) chaos adversary does with its t processors, and
+whatever inputs the honest processors hold, every run must satisfy:
+
+* Termination — structurally guaranteed (run() returns);
+* Consistency — all fault-free outputs equal;
+* Validity — equal honest inputs are decided verbatim;
+* Diagnosis soundness — every removed edge touches a faulty processor,
+  fault-free processors keep trusting each other, no fault-free processor
+  is ever isolated;
+* Theorem 1 — at most t(t+1) diagnosis stages.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import ConsensusConfig, MultiValuedConsensus
+from repro.processors import RandomAdversary
+
+
+def consensus_cases():
+    return st.tuples(
+        st.sampled_from([(4, 1), (7, 2)]),
+        st.integers(min_value=0, max_value=2**24 - 1),  # honest value
+        st.integers(min_value=0, max_value=10**6),      # adversary seed
+        st.floats(min_value=0.1, max_value=1.0),        # deviation rate
+    )
+
+
+def run_case(n, t, value, seed, rate, equal_inputs=True, backend="ideal"):
+    config = ConsensusConfig.create(n=n, t=t, l_bits=24, backend=backend)
+    faulty = list(range(n - t, n))
+    adversary = RandomAdversary(faulty=faulty, seed=seed, rate=rate)
+    protocol = MultiValuedConsensus(config, adversary=adversary)
+    if equal_inputs:
+        inputs = [value] * n
+    else:
+        inputs = [(value + pid) % (1 << 24) for pid in range(n)]
+    result = protocol.run(inputs)
+    return protocol, result
+
+
+class TestConsensusProperties:
+    @given(consensus_cases())
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_error_free_with_equal_inputs(self, case):
+        (n, t), value, seed, rate = case
+        _, result = run_case(n, t, value, seed, rate)
+        assert result.consistent, result.decisions
+        assert result.value == value
+
+    @given(consensus_cases())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_consistency_with_mixed_inputs(self, case):
+        (n, t), value, seed, rate = case
+        _, result = run_case(n, t, value, seed, rate, equal_inputs=False)
+        assert result.consistent, result.decisions
+
+    @given(consensus_cases())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_diagnosis_graph_soundness(self, case):
+        (n, t), value, seed, rate = case
+        protocol, result = run_case(n, t, value, seed, rate)
+        faulty = set(range(n - t, n))
+        # Every removed edge touches a faulty processor.
+        for a, b in protocol.graph.removed_edges():
+            assert a in faulty or b in faulty, (a, b)
+        # Fault-free processors keep trusting each other...
+        honest = [pid for pid in range(n) if pid not in faulty]
+        for i in honest:
+            for j in honest:
+                assert protocol.graph.trusts(i, j)
+        # ...and are never isolated.
+        assert not (protocol.graph.isolated & set(honest))
+
+    @given(consensus_cases())
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_diagnosis_count_bound(self, case):
+        (n, t), value, seed, rate = case
+        _, result = run_case(n, t, value, seed, rate)
+        assert result.diagnosis_count <= t * (t + 1)
+
+    @given(st.integers(0, 10**6), st.floats(0.3, 1.0))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_phase_king_backend_error_free(self, seed, rate):
+        _, result = run_case(7, 2, 0x5A5A5A, seed, rate,
+                             backend="phase_king")
+        assert result.consistent and result.value == 0x5A5A5A
+
+
+class TestBroadcastProperties:
+    @given(
+        st.integers(0, 2**24 - 1),
+        st.integers(0, 10**6),
+        st.sampled_from([0, 3, 6]),  # source pid (0 will be faulty)
+    )
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_mv_broadcast_agreement(self, value, seed, source):
+        from repro.core import MultiValuedBroadcast
+
+        adversary = RandomAdversary(faulty=[0, 1], seed=seed, rate=0.7)
+        broadcast = MultiValuedBroadcast(n=7, t=2, l_bits=24,
+                                         adversary=adversary)
+        result = broadcast.run(source=source, value=value)
+        assert result.consistent, result.decisions
+        if source not in (0, 1):
+            assert result.value == value
+
+    @given(st.integers(0, 2**24 - 1), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_mv_broadcast_graph_soundness(self, value, seed):
+        from repro.core import MultiValuedBroadcast
+
+        adversary = RandomAdversary(faulty=[2, 5], seed=seed, rate=0.7)
+        broadcast = MultiValuedBroadcast(n=7, t=2, l_bits=24,
+                                         adversary=adversary)
+        broadcast.run(source=0, value=value)
+        honest = [0, 1, 3, 4, 6]
+        for a, b in broadcast.graph.removed_edges():
+            assert a in (2, 5) or b in (2, 5)
+        for i in honest:
+            for j in honest:
+                assert broadcast.graph.trusts(i, j)
+
+
+class TestValueRoundtripProperties:
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_parts_of_value_of_inverse(self, data):
+        l_bits = data.draw(st.integers(1, 300))
+        config = ConsensusConfig.create(n=7, t=2, l_bits=l_bits)
+        protocol = MultiValuedConsensus(config)
+        value = data.draw(st.integers(0, (1 << l_bits) - 1))
+        assert protocol.value_of(protocol.parts_of(value)) == value

@@ -1,0 +1,78 @@
+"""Result dataclasses: derived properties and edge cases."""
+
+from repro.core.result import (
+    ConsensusResult,
+    GenerationOutcome,
+    GenerationResult,
+)
+from repro.network.metrics import MeterSnapshot
+
+
+def snapshot(bits=0):
+    return MeterSnapshot(bits_by_tag={"x": bits} if bits else {},
+                         messages_by_tag={})
+
+
+class TestGenerationResult:
+    def test_consistent_when_all_equal(self):
+        result = GenerationResult(
+            generation=0,
+            outcome=GenerationOutcome.DECIDED_CHECKING,
+            decisions={0: (1, 2), 1: (1, 2)},
+        )
+        assert result.consistent
+        assert not result.diagnosis_performed
+
+    def test_inconsistent_detected(self):
+        result = GenerationResult(
+            generation=0,
+            outcome=GenerationOutcome.DECIDED_CHECKING,
+            decisions={0: (1, 2), 1: (9, 9)},
+        )
+        assert not result.consistent
+
+    def test_diagnosis_flag(self):
+        result = GenerationResult(
+            generation=0,
+            outcome=GenerationOutcome.DECIDED_DIAGNOSIS,
+            decisions={0: (1,)},
+        )
+        assert result.diagnosis_performed
+
+
+class TestConsensusResult:
+    def _make(self, decisions, equal=True, common=5):
+        return ConsensusResult(
+            decisions=decisions,
+            generation_results=[],
+            meter=snapshot(10),
+            diagnosis_count=0,
+            default_used=False,
+            honest_inputs_equal=equal,
+            common_input=common if equal else None,
+        )
+
+    def test_value_when_consistent(self):
+        result = self._make({0: 5, 1: 5, 2: 5})
+        assert result.consistent and result.value == 5
+
+    def test_value_none_when_inconsistent(self):
+        result = self._make({0: 5, 1: 6})
+        assert not result.consistent
+        assert result.value is None
+        assert not result.error_free
+
+    def test_validity_requires_match_with_common_input(self):
+        ok = self._make({0: 5, 1: 5}, equal=True, common=5)
+        assert ok.valid
+        bad = self._make({0: 6, 1: 6}, equal=True, common=5)
+        assert not bad.valid
+        assert not bad.error_free
+
+    def test_validity_vacuous_when_inputs_differ(self):
+        result = self._make({0: 9, 1: 9}, equal=False)
+        assert result.valid
+
+    def test_total_bits_from_meter(self):
+        result = self._make({0: 1})
+        assert result.total_bits == 10
