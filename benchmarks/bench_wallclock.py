@@ -1,0 +1,154 @@
+"""Wall-clock benchmark of full consensus runs over an (n, L) grid.
+
+Unlike the bench_eq* experiments (which reproduce the paper's *bit
+counts*), this benchmark tracks how fast the engine actually runs, so
+performance regressions and improvements are visible PR-over-PR.  It
+writes ``BENCH_wallclock.json`` next to the repo root with one record per
+grid point, the per-point speedup over the recorded pre-vectorization
+seed baseline, and an assertion-friendly copy of the metered bit totals
+(the optimisations must never change a single bit on the wire).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py            # full grid
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --quick    # CI smoke
+
+The ``--quick`` grid keeps L small so the smoke run finishes in well
+under a second; CI uses it to catch order-of-magnitude regressions at PR
+time without burning minutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import time
+from pathlib import Path
+
+from repro.core.config import ConsensusConfig
+from repro.core.consensus import MultiValuedConsensus
+
+#: Failure-free wall-clock of the scalar per-row coding engine (the state
+#: of the repo before the batched matmat engine landed), measured with
+#: this same harness.  Kept as the fixed "before" so every future run
+#: reports its cumulative speedup against the same origin.
+SEED_BASELINE = {
+    (4, 16384): {"seconds": 0.0993, "total_bits": 126000},
+    (7, 65536): {"seconds": 0.4037, "total_bits": 1448384},
+    (7, 524288): {"seconds": 3.0954, "total_bits": 8834070},
+    (10, 65536): {"seconds": 0.6769, "total_bits": 3731640},
+}
+
+#: Deterministic (machine-independent) failure-free bit totals for every
+#: grid point, including the quick grid — asserted on every run so the
+#: CI smoke actually catches on-wire behaviour drift.  The (7, 8192)
+#: entry cross-checks the seed's bench_eq2 table.
+EXPECTED_BITS = {
+    (4, 4096): 38656,
+    (7, 8192): 306152,
+    (4, 16384): 126000,
+    (7, 65536): 1448384,
+    (7, 524288): 8834070,
+    (10, 65536): 3731640,
+}
+
+FULL_GRID = [(4, 1 << 14), (7, 1 << 16), (7, 1 << 19), (10, 1 << 16)]
+QUICK_GRID = [(4, 1 << 12), (7, 1 << 13)]
+
+#: Deterministic input seed: every run times the identical workload.
+INPUT_SEED = 12345
+
+
+def run_point(n: int, l_bits: int) -> dict:
+    """One failure-free run with all-equal random inputs; returns a record."""
+    config = ConsensusConfig.create(n=n, l_bits=l_bits)
+    value = random.Random(INPUT_SEED).getrandbits(l_bits)
+    start = time.perf_counter()
+    result = MultiValuedConsensus(config).run([value] * n)
+    elapsed = time.perf_counter() - start
+    record = {
+        "n": n,
+        "t": config.t,
+        "l_bits": l_bits,
+        "d_bits": config.d_bits,
+        "generations": config.generations,
+        "seconds": round(elapsed, 4),
+        "total_bits": result.meter.total_bits,
+        "error_free": result.error_free,
+    }
+    expected = EXPECTED_BITS.get((n, l_bits))
+    if expected is not None and result.meter.total_bits != expected:
+        raise AssertionError(
+            "bit total changed at (n=%d, L=%d): %d != expected %d — the "
+            "coding engine altered on-wire behaviour"
+            % (n, l_bits, result.meter.total_bits, expected)
+        )
+    baseline = SEED_BASELINE.get((n, l_bits))
+    if baseline is not None:
+        record["seed_seconds"] = baseline["seconds"]
+        record["speedup_vs_seed"] = round(
+            baseline["seconds"] / elapsed, 2
+        ) if elapsed else None
+    return record
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small-L smoke grid for CI (sub-second)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="where to write the JSON report (default: BENCH_wallclock.json "
+        "at the repo root; quick mode writes BENCH_wallclock_quick.json so "
+        "the tracked full-grid record is never clobbered)",
+    )
+    args = parser.parse_args()
+    if args.output is None:
+        name = (
+            "BENCH_wallclock_quick.json" if args.quick
+            else "BENCH_wallclock.json"
+        )
+        args.output = Path(__file__).resolve().parent.parent / name
+
+    grid = QUICK_GRID if args.quick else FULL_GRID
+    results = []
+    for n, l_bits in grid:
+        record = run_point(n, l_bits)
+        results.append(record)
+        speedup = record.get("speedup_vs_seed")
+        print(
+            "n=%-3d L=2^%-3d %8.4fs  %9d bits%s"
+            % (
+                n,
+                l_bits.bit_length() - 1,
+                record["seconds"],
+                record["total_bits"],
+                "  (%.1fx vs seed)" % speedup if speedup else "",
+            )
+        )
+
+    report = {
+        "benchmark": "bench_wallclock",
+        "mode": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "input_seed": INPUT_SEED,
+        "seed_baseline": [
+            {"n": n, "l_bits": l, **vals}
+            for (n, l), vals in sorted(SEED_BASELINE.items())
+        ],
+        "results": results,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print("wrote %s" % args.output)
+
+
+if __name__ == "__main__":
+    main()

@@ -3,8 +3,10 @@
 Field elements are plain Python ints in ``[0, 2^c)``.  Multiplication and
 division use exp/log tables built once per field width from a standard
 primitive polynomial, which keeps single-element operations O(1) and lets
-:meth:`GF.matvec` run vectorised over numpy arrays for the hot encoding path
-(one matrix-vector product per Reed-Solomon encode).
+:meth:`GF.matvec` / :meth:`GF.matmat` run vectorised over numpy arrays for
+the hot encoding path: a plain Reed-Solomon encode is one matrix-vector
+product, and an ``m``-row interleaved encode is one matrix-matrix product
+instead of ``m`` separate matvecs.
 
 The protocol requires ``n <= 2^c - 1`` evaluation points, so consensus
 configurations pick the smallest ``c`` that fits ``n`` and the generation
@@ -93,6 +95,30 @@ class GF:
         exp[size:] = exp[:size]
         self._exp = exp
         self._log = log
+        exp_public = exp[:size].copy()
+        exp_public.setflags(write=False)
+        self._exp_public = exp_public
+
+    # -- table accessors ---------------------------------------------------
+
+    @property
+    def exp_table(self) -> np.ndarray:
+        """Read-only view of the exponent table: ``exp_table[j] == alpha^j``
+        for ``0 <= j < order - 1``, where ``alpha`` is the primitive root.
+
+        Public accessor (with :meth:`alpha` as its scalar form, used for
+        evaluation-point selection in
+        :class:`~repro.coding.reed_solomon.ReedSolomonCode`) so callers
+        never reach into the private ``_exp`` buffer.
+        """
+        return self._exp_public
+
+    def alpha(self, j: int) -> int:
+        """The ``j``-th power of the primitive root, ``alpha^j``.
+
+        ``j`` may be any integer; it is reduced modulo ``order - 1``.
+        """
+        return int(self._exp_public[j % (self.order - 1)])
 
     # -- scalar operations -------------------------------------------------
 
@@ -156,12 +182,38 @@ class GF:
             acc = self.mul(acc, x) ^ self._check(coeff)
         return acc
 
+    def check_array(self, values: np.ndarray, what: str = "array") -> np.ndarray:
+        """Validate that every entry of ``values`` lies in the field.
+
+        Returns the array as ``int64``; raises :class:`GFElementError`
+        naming ``what`` otherwise.  Used at matrix-construction time so the
+        table lookups below can never index out of bounds or silently
+        alias an out-of-field entry.
+        """
+        arr = np.asarray(values, dtype=np.int64)
+        if arr.size and ((arr < 0) | (arr >= self.order)).any():
+            bad = arr[(arr < 0) | (arr >= self.order)].flat[0]
+            raise GFElementError(
+                "%s contains value %d outside GF(2^%d)"
+                % (what, int(bad), self.c)
+            )
+        return arr
+
+    def mul_many(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise field multiplication of two broadcastable arrays.
+
+        Operands must already be validated (see :meth:`check_array`).
+        """
+        nz = (a != 0) & (b != 0)
+        # _log[0] is a dummy entry; the nz mask zeroes those products out.
+        return np.where(nz, self._exp[self._log[a] + self._log[b]], 0)
+
     def matvec(self, matrix: np.ndarray, vector: Sequence[int]) -> List[int]:
         """Multiply an m-by-k GF matrix by a length-k vector.
 
-        This is the hot path of Reed-Solomon encoding: the generator matrix
-        is fixed per code, so each encode is a single table-driven
-        matrix-vector product.
+        This is the scalar-encode path of Reed-Solomon coding: the
+        generator matrix is fixed per code, so each encode is a single
+        table-driven matrix-vector product.
         """
         mat = np.asarray(matrix, dtype=np.int64)
         vec = np.asarray(list(vector), dtype=np.int64)
@@ -170,16 +222,56 @@ class GF:
                 "shape mismatch: matrix %r, vector %r"
                 % (mat.shape, vec.shape)
             )
-        if ((vec < 0) | (vec >= self.order)).any():
-            raise GFElementError("vector contains values outside the field")
-        # products[i, j] = mat[i, j] * vec[j] in GF, via log/exp tables.
-        # _log[0] is a dummy entry; the nz mask zeroes those products out.
-        nz = (mat != 0) & (vec != 0)[np.newaxis, :]
-        logs = self._log[mat] + self._log[vec][np.newaxis, :]
-        products = np.where(nz, self._exp[logs], 0)
-        # XOR-reduce along rows.
-        result = np.bitwise_xor.reduce(products, axis=1)
+        self.check_array(mat, "matrix")
+        self.check_array(vec, "vector")
+        # XOR-reduce products along rows.
+        result = np.bitwise_xor.reduce(self.mul_many(mat, vec), axis=1)
         return [int(v) for v in result]
+
+    def matmat(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """GF matrix-matrix product of an ``(m, k)`` by a ``(k, p)`` array.
+
+        One table-driven product replaces ``m`` (or ``p``) separate
+        matvecs; this is the batched hot path of interleaved Reed-Solomon
+        encoding, extension and syndrome checking.  Returns an ``(m, p)``
+        int64 array.
+        """
+        lhs = np.asarray(a, dtype=np.int64)
+        rhs = np.asarray(b, dtype=np.int64)
+        if lhs.ndim != 2 or rhs.ndim != 2 or lhs.shape[1] != rhs.shape[0]:
+            raise ValueError(
+                "shape mismatch: lhs %r, rhs %r" % (lhs.shape, rhs.shape)
+            )
+        self.check_array(lhs, "lhs matrix")
+        self.check_array(rhs, "rhs matrix")
+        return self._matmat_core(lhs, rhs)
+
+    def _matmat_core(self, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        """Table-driven product of two *pre-validated* int64 arrays.
+
+        Internal fast path: callers that own one operand (e.g. a code's
+        generator matrix, validated once at construction) skip re-scanning
+        it on every call.
+        """
+        if lhs.shape[1] == 0:
+            return np.zeros((lhs.shape[0], rhs.shape[1]), dtype=np.int64)
+        products = self.mul_many(lhs[:, :, np.newaxis], rhs[np.newaxis, :, :])
+        return np.bitwise_xor.reduce(products, axis=1)
+
+    def poly_eval_many(
+        self, coeffs: Sequence[int], xs: Sequence[int]
+    ) -> np.ndarray:
+        """Evaluate one polynomial at many points (vectorised Horner).
+
+        ``coeffs[i]`` multiplies ``x^i``; returns an int64 array of
+        ``len(xs)`` values.
+        """
+        points = self.check_array(np.asarray(list(xs)), "points")
+        acc = np.zeros_like(points)
+        for coeff in reversed(list(coeffs)):
+            self._check(coeff)
+            acc = self.mul_many(acc, points) ^ coeff
+        return acc
 
     def lagrange_interpolate(
         self, points: Sequence[int], values: Sequence[int]

@@ -18,6 +18,12 @@ Every property Algorithm 1 needs lifts row-wise:
   (if two interleaved words agreed on ``k`` positions they would be
   row-wise equal).
 
+Row data lives in ``(m, k)`` numpy arrays so every lifted operation is a
+*single* GF matrix-matrix product over all ``m`` rows (see
+:meth:`~repro.coding.gf.GF.matmat`) instead of ``m`` per-row matvecs, and
+super-symbol packing/unpacking is ``np.unpackbits``/``np.packbits``
+vectorised over all positions at once.
+
 The class mirrors the :class:`~repro.coding.reed_solomon.ReedSolomonCode`
 API so the protocol engines can use either interchangeably.
 """
@@ -26,7 +32,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.coding.reed_solomon import DecodingError, ReedSolomonCode
+from repro.utils.bits import bit_matrix_to_ints, ints_to_bit_matrix
 
 
 class InterleavedCode:
@@ -59,57 +68,73 @@ class InterleavedCode:
         self.symbol_limit = 1 << self.symbol_bits
         self.distance = self.base.distance
         self.field = self.base.field
+        #: per-row bit weights for the (s, rows, c) -> (s, rows) contraction.
+        self._bit_weights = (
+            1 << np.arange(c - 1, -1, -1, dtype=np.int64)
+        )
 
     # -- packing -----------------------------------------------------------------
 
+    def _split_many(self, symbols: Sequence[int]) -> np.ndarray:
+        """Unpack super-symbols into an ``(m, len(symbols))`` row array."""
+        symbols = list(symbols)
+        for symbol in symbols:
+            if not 0 <= symbol < self.symbol_limit:
+                raise ValueError(
+                    "symbol %r outside [0, 2^%d)" % (symbol, self.symbol_bits)
+                )
+        if not symbols:
+            return np.zeros((self.rows, 0), dtype=np.int64)
+        bits = ints_to_bit_matrix(symbols, self.symbol_bits)
+        rows = bits.reshape(len(symbols), self.rows, self.c).astype(
+            np.int64
+        ) @ self._bit_weights
+        return rows.T
+
+    def _join_many(self, rows: np.ndarray) -> List[int]:
+        """Pack an ``(m, s)`` row array back into ``s`` super-symbols."""
+        arr = np.asarray(rows, dtype=np.int64).T  # (s, m)
+        count = arr.shape[0]
+        if count == 0:
+            return []
+        shifts = np.arange(self.c - 1, -1, -1, dtype=np.int64)
+        bits = ((arr[:, :, np.newaxis] >> shifts) & 1).astype(np.uint8)
+        return bit_matrix_to_ints(bits.reshape(count, self.symbol_bits))
+
     def _split(self, symbol: int) -> List[int]:
         """Unpack a super-symbol into its ``m`` row symbols."""
-        if not 0 <= symbol < self.symbol_limit:
-            raise ValueError(
-                "symbol %r outside [0, 2^%d)" % (symbol, self.symbol_bits)
-            )
-        mask = (1 << self.c) - 1
-        return [
-            (symbol >> ((self.rows - 1 - r) * self.c)) & mask
-            for r in range(self.rows)
-        ]
+        return [int(v) for v in self._split_many([symbol])[:, 0]]
 
     def _join(self, row_symbols: Sequence[int]) -> int:
-        value = 0
-        for symbol in row_symbols:
-            value = (value << self.c) | symbol
-        return value
+        column = np.asarray(list(row_symbols), dtype=np.int64)
+        return self._join_many(column[:, np.newaxis])[0]
 
     # -- ReedSolomonCode-compatible API -----------------------------------------------
 
     def encode(self, data: Sequence[int]) -> List[int]:
-        """Encode ``k`` super-symbols into ``n`` super-symbols."""
+        """Encode ``k`` super-symbols into ``n`` super-symbols.
+
+        All ``m`` rows are encoded by one generator matmat.
+        """
         data = list(data)
         if len(data) != self.k:
             raise ValueError(
                 "expected %d data symbols, got %d" % (self.k, len(data))
             )
-        row_data = [self._split(symbol) for symbol in data]
-        row_words = [
-            self.base.encode([row_data[i][r] for i in range(self.k)])
-            for r in range(self.rows)
-        ]
-        return [
-            self._join([row_words[r][j] for r in range(self.rows)])
-            for j in range(self.n)
-        ]
+        row_data = self._split_many(data)  # (m, k)
+        return self._join_many(self.base.encode_many(row_data))
 
     def is_consistent(self, symbols: Dict[int, int]) -> bool:
         """True iff every interleaved row is consistent with a codeword."""
         if len(symbols) < self.k:
             return True
-        split = {pos: self._split(sym) for pos, sym in symbols.items()}
-        return all(
-            self.base.is_consistent(
-                {pos: rows[r] for pos, rows in split.items()}
-            )
-            for r in range(self.rows)
-        )
+        positions = sorted(symbols)
+        values = self._split_many([symbols[p] for p in positions])
+        if positions == list(range(self.n)):
+            # All positions known: one parity-check syndrome matmat.
+            return not self.base.syndrome_many(values).any()
+        _, ok = self.base.codeword_through_many(positions, values)
+        return bool(ok.all())
 
     def codeword_through(self, symbols: Dict[int, int]) -> Optional[List[int]]:
         """The unique codeword through >= k positions, or None."""
@@ -117,19 +142,12 @@ class InterleavedCode:
             raise ValueError(
                 "need at least k=%d symbols, got %d" % (self.k, len(symbols))
             )
-        split = {pos: self._split(sym) for pos, sym in symbols.items()}
-        row_words = []
-        for r in range(self.rows):
-            word = self.base.codeword_through(
-                {pos: rows[r] for pos, rows in split.items()}
-            )
-            if word is None:
-                return None
-            row_words.append(word)
-        return [
-            self._join([row_words[r][j] for r in range(self.rows)])
-            for j in range(self.n)
-        ]
+        positions = sorted(symbols)
+        values = self._split_many([symbols[p] for p in positions])
+        words, ok = self.base.codeword_through_many(positions, values)
+        if not ok.all():
+            return None
+        return self._join_many(words)
 
     def decode_subset(self, symbols: Dict[int, int]) -> List[int]:
         """Recover the ``k`` data super-symbols from >= k positions."""

@@ -83,11 +83,22 @@ class ReedSolomonCode:
         self.symbol_limit = field.order
         #: minimum Hamming distance; for the paper's C_2t this is 2t + 1.
         self.distance = n - k + 1
-        # Evaluation points alpha_j = exp(j), j = 0..n-1 — distinct, nonzero.
-        self.points: List[int] = [
-            int(field._exp[j]) for j in range(n)
-        ]
+        # Evaluation points alpha_j = alpha^j, j = 0..n-1 — distinct, nonzero.
+        self.points: List[int] = [field.alpha(j) for j in range(n)]
         self._generator = self._build_generator()
+        # Systematic parity check: a word w is a codeword iff
+        # G[k:] @ w[:k] == w[k:], i.e. H @ w == 0 for H = [G[k:] | I].
+        # One syndrome matmat replaces interpolate-and-compare for
+        # full-length membership tests.
+        self._parity = self._generator[self.k:]
+        self.parity_check: np.ndarray = np.concatenate(
+            [self._parity, np.eye(n - k, dtype=np.int64)], axis=1
+        )
+        # Matrices are validated once here (and per interpolation matrix as
+        # it enters the cache); per-call validation covers only the
+        # caller-supplied data operand.
+        field.check_array(self._generator, "generator matrix")
+        field.check_array(self.parity_check, "parity-check matrix")
         self._interp_cache: Dict[Tuple[int, ...], np.ndarray] = {}
 
     def _build_generator(self) -> np.ndarray:
@@ -120,11 +131,36 @@ class ReedSolomonCode:
                 denom = field.mul(denom, xs[j] ^ xs[m])
             inv_denom = field.inv(denom)
             scaled = [field.mul(coeff, inv_denom) for coeff in basis]
-            for i in range(self.n):
-                matrix[i, j] = field.poly_eval(scaled, self.points[i])
+            matrix[:, j] = field.poly_eval_many(scaled, self.points)
         return matrix
 
     # -- public API ---------------------------------------------------------
+
+    def _apply_matrix(self, matrix: np.ndarray, values: Sequence[int]) -> List[int]:
+        """``matrix @ values`` with only the caller-supplied vector
+        validated — the matrix is one of the code's own (pre-validated)."""
+        vec = np.asarray(list(values), dtype=np.int64)
+        if vec.ndim != 1 or vec.shape[0] != matrix.shape[1]:
+            raise ValueError(
+                "shape mismatch: matrix %r, vector %r"
+                % (matrix.shape, vec.shape)
+            )
+        self.field.check_array(vec, "vector")
+        result = self.field._matmat_core(matrix, vec[:, np.newaxis])
+        return [int(v) for v in result[:, 0]]
+
+    def _rows_matmat(
+        self, rows: np.ndarray, matrix_t: np.ndarray, what: str
+    ) -> np.ndarray:
+        """``rows @ matrix_t`` with only ``rows`` validated per call."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.ndim != 2 or rows.shape[1] != matrix_t.shape[0]:
+            raise ValueError(
+                "expected an (m, %d) %s array, got shape %r"
+                % (matrix_t.shape[0], what, rows.shape)
+            )
+        self.field.check_array(rows, what)
+        return self.field._matmat_core(rows, matrix_t)
 
     def encode(self, data: Sequence[int]) -> List[int]:
         """``C_2t(v)``: encode ``k`` data symbols into ``n`` coded symbols."""
@@ -133,7 +169,87 @@ class ReedSolomonCode:
             raise ValueError(
                 "expected %d data symbols, got %d" % (self.k, len(data))
             )
-        return self.field.matvec(self._generator, data)
+        return self._apply_matrix(self._generator, data)
+
+    # -- batched (row-stacked) API ------------------------------------------
+    #
+    # The *_many methods operate on ``m`` independent data/codeword rows at
+    # once via a single GF matrix-matrix product — the hot path of
+    # :class:`~repro.coding.interleaved.InterleavedCode`, where one encode
+    # used to issue ``m`` tiny matvecs.
+
+    def encode_many(self, data: np.ndarray) -> np.ndarray:
+        """Encode an ``(m, k)`` array of data rows into ``(m, n)`` words."""
+        return self._rows_matmat(data, self._generator.T, "data")
+
+    def extend_many(
+        self, positions: Sequence[int], values: np.ndarray
+    ) -> np.ndarray:
+        """Batched :meth:`extend`: ``(m, k)`` known-symbol rows at exactly
+        ``k`` ``positions`` -> the ``(m, n)`` full codewords."""
+        matrix = self._interp_for(tuple(positions))
+        return self._rows_matmat(values, matrix.T, "value")
+
+    def codeword_through_many(
+        self, positions: Sequence[int], values: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`codeword_through` over ``m`` rows.
+
+        ``positions`` are >= k sorted distinct indices; ``values`` is the
+        ``(m, len(positions))`` array of the rows' symbols there.  Returns
+        ``(words, ok)`` where ``words`` is ``(m, n)`` (the codeword through
+        each row's first ``k`` symbols) and ``ok[i]`` is True iff row ``i``
+        agrees with that codeword at every remaining position.
+        """
+        positions = list(positions)
+        for p in positions:
+            if not 0 <= p < self.n:
+                raise ValueError(
+                    "position %d out of range [0, %d)" % (p, self.n)
+                )
+        rows = np.asarray(values, dtype=np.int64)
+        if rows.ndim != 2 or rows.shape[1] != len(positions):
+            raise ValueError(
+                "expected an (m, %d) value array, got shape %r"
+                % (len(positions), rows.shape)
+            )
+        base = positions[: self.k]
+        words = self.extend_many(base, rows[:, : self.k])
+        extra = positions[self.k:]
+        if extra:
+            ok = (words[:, extra] == rows[:, self.k:]).all(axis=1)
+        else:
+            ok = np.ones(rows.shape[0], dtype=bool)
+        return words, ok
+
+    def syndrome_many(self, words: np.ndarray) -> np.ndarray:
+        """``(m, n)`` full-length words -> ``(m, n-k)`` syndromes.
+
+        A row is a codeword iff its syndrome row is all zeros; this is one
+        parity-check matmat instead of ``m`` Lagrange
+        interpolate-and-compare passes.
+        """
+        return self._rows_matmat(words, self.parity_check.T, "word")
+
+    def _interp_for(self, key: Tuple[int, ...]) -> np.ndarray:
+        """The cached k-point interpolation matrix for ``key`` (validated)."""
+        if len(key) != self.k:
+            raise ValueError(
+                "need exactly k=%d positions, got %d" % (self.k, len(key))
+            )
+        if len(set(key)) != len(key):
+            raise ValueError("positions must be distinct: %r" % (key,))
+        for p in key:
+            if not 0 <= p < self.n:
+                raise ValueError(
+                    "position %d out of range [0, %d)" % (p, self.n)
+                )
+        matrix = self._interp_cache.get(key)
+        if matrix is None:
+            matrix = self._interpolation_matrix(key)
+            self.field.check_array(matrix, "interpolation matrix")
+            self._interp_cache[key] = matrix
+        return matrix
 
     def extend(self, positions: Sequence[int], values: Sequence[int]) -> List[int]:
         """Reconstruct the full codeword from exactly ``k`` known symbols.
@@ -143,21 +259,8 @@ class ReedSolomonCode:
         repeated reconstructions (e.g. every generation with the same
         ``P_decide``) cost one matvec.
         """
-        key = tuple(positions)
-        if len(key) != self.k:
-            raise ValueError(
-                "need exactly k=%d positions, got %d" % (self.k, len(key))
-            )
-        if len(set(key)) != len(key):
-            raise ValueError("positions must be distinct: %r" % (key,))
-        for p in key:
-            if not 0 <= p < self.n:
-                raise ValueError("position %d out of range [0, %d)" % (p, self.n))
-        matrix = self._interp_cache.get(key)
-        if matrix is None:
-            matrix = self._interpolation_matrix(key)
-            self._interp_cache[key] = matrix
-        return self.field.matvec(matrix, list(values))
+        matrix = self._interp_for(tuple(positions))
+        return self._apply_matrix(matrix, list(values))
 
     def codeword_through(
         self, symbols: Dict[int, int]
@@ -175,6 +278,11 @@ class ReedSolomonCode:
                 % (self.k, len(symbols))
             )
         positions = sorted(symbols)
+        for p in positions:
+            if not 0 <= p < self.n:
+                raise ValueError(
+                    "position %d out of range [0, %d)" % (p, self.n)
+                )
         base = positions[: self.k]
         word = self.extend(base, [symbols[p] for p in base])
         for p in positions[self.k:]:
@@ -186,10 +294,14 @@ class ReedSolomonCode:
         """``V/A ∈ C_2t``: is the symbol subset consistent with a codeword?
 
         Subsets with fewer than ``k`` symbols are vacuously consistent (some
-        codeword always passes through fewer than ``k`` points).
+        codeword always passes through fewer than ``k`` points).  A
+        full-length subset is a single syndrome matmat; partial subsets go
+        through the cached interpolation matrices.
         """
         if len(symbols) < self.k:
             return True
+        if len(symbols) == self.n and all(p in symbols for p in range(self.n)):
+            return self.is_codeword([symbols[p] for p in range(self.n)])
         return self.codeword_through(symbols) is not None
 
     def decode_subset(self, symbols: Dict[int, int]) -> List[int]:
@@ -216,11 +328,13 @@ class ReedSolomonCode:
         return self.decode_subset(dict(enumerate(codeword)))
 
     def is_codeword(self, codeword: Sequence[int]) -> bool:
-        """Full-length membership test."""
+        """Full-length membership test: one parity-check syndrome matmat."""
         codeword = list(codeword)
         if len(codeword) != self.n:
             return False
-        return self.is_consistent(dict(enumerate(codeword)))
+        return not self.syndrome_many(
+            np.asarray([codeword], dtype=np.int64)
+        ).any()
 
     def __repr__(self) -> str:
         return "ReedSolomonCode(n=%d, k=%d, c=%d)" % (self.n, self.k, self.c)

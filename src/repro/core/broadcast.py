@@ -47,7 +47,12 @@ from repro.graphs.diagnosis_graph import DiagnosisGraph
 from repro.network.metrics import BitMeter, MeterSnapshot
 from repro.network.simulator import SyncNetwork
 from repro.processors.adversary import Adversary, GlobalView
-from repro.utils.bits import bits_to_int, int_to_bits
+from repro.utils.bits import (
+    bits_to_int,
+    int_to_bits,
+    pack_symbols,
+    unpack_symbols,
+)
 
 
 @dataclass
@@ -164,24 +169,22 @@ class MultiValuedBroadcast:
         if value < 0 or value >> self.l_bits:
             raise ValueError("value does not fit in %d bits" % self.l_bits)
         padded = self.generations * self.d_bits
-        bits = int_to_bits(value, self.l_bits) + [0] * (padded - self.l_bits)
-        c = self.symbol_bits
+        shifted = value << (padded - self.l_bits)
+        symbols = unpack_symbols(
+            shifted, self.generations * self.k, self.symbol_bits
+        )
         return [
-            [
-                bits_to_int(
-                    bits[g * self.d_bits + s * c: g * self.d_bits + (s + 1) * c]
-                )
-                for s in range(self.k)
-            ]
+            symbols[g * self.k:(g + 1) * self.k]
             for g in range(self.generations)
         ]
 
     def value_of(self, parts: Sequence[Sequence[int]]) -> int:
-        bits: List[int] = []
-        for part in parts:
-            for symbol in part:
-                bits.extend(int_to_bits(symbol, self.symbol_bits))
-        return bits_to_int(bits[: self.l_bits])
+        symbols = [symbol for part in parts for symbol in part]
+        total_bits = len(symbols) * self.symbol_bits
+        packed = pack_symbols(symbols, self.symbol_bits)
+        if total_bits > self.l_bits:
+            return packed >> (total_bits - self.l_bits)
+        return packed
 
     def _generation_code(self, m: int, k: int):
         """The (m, k) code for a generation with ``m`` live positions.

@@ -27,7 +27,7 @@ from repro.graphs.diagnosis_graph import DiagnosisGraph
 from repro.network.metrics import BitMeter
 from repro.network.simulator import SyncNetwork
 from repro.processors.adversary import Adversary, GlobalView
-from repro.utils.bits import bits_to_int, int_to_bits
+from repro.utils.bits import pack_symbols, unpack_symbols
 
 
 class MultiValuedConsensus:
@@ -71,28 +71,26 @@ class MultiValuedConsensus:
             raise ValueError(
                 "value does not fit in %d bits" % config.l_bits
             )
-        bits = int_to_bits(value, config.l_bits)
-        bits += [0] * (config.padded_bits - config.l_bits)
-        parts: List[List[int]] = []
-        c = config.symbol_bits
-        for g in range(config.generations):
-            chunk = bits[g * config.d_bits:(g + 1) * config.d_bits]
-            parts.append(
-                [
-                    bits_to_int(chunk[s * c:(s + 1) * c])
-                    for s in range(config.data_symbols)
-                ]
-            )
-        return parts
+        # Right-pad to the generation boundary, then split the whole value
+        # into symbols with one vectorised unpack instead of per-bit lists.
+        padded = value << (config.padded_bits - config.l_bits)
+        k = config.data_symbols
+        symbols = unpack_symbols(
+            padded, config.generations * k, config.symbol_bits
+        )
+        return [
+            symbols[g * k:(g + 1) * k] for g in range(config.generations)
+        ]
 
     def value_of(self, parts: Sequence[Sequence[int]]) -> int:
         """Inverse of :meth:`parts_of` (drops the padding)."""
         config = self.config
-        bits: List[int] = []
-        for part in parts:
-            for symbol in part:
-                bits.extend(int_to_bits(symbol, config.symbol_bits))
-        return bits_to_int(bits[: config.l_bits])
+        symbols = [symbol for part in parts for symbol in part]
+        total_bits = len(symbols) * config.symbol_bits
+        packed = pack_symbols(symbols, config.symbol_bits)
+        if total_bits > config.l_bits:
+            return packed >> (total_bits - config.l_bits)
+        return packed
 
     def _make_view(self) -> GlobalView:
         return GlobalView(
@@ -138,9 +136,16 @@ class MultiValuedConsensus:
                 )
                 value %= 1 << config.l_bits
             effective[pid] = value
-        parts_by_pid = {
-            pid: self.parts_of(effective[pid]) for pid in range(config.n)
-        }
+        # Honest processors holding the same value derive the same symbol
+        # view; key the (expensive, deterministic) split by content so the
+        # common all-equal-inputs case splits once, not n times.
+        parts_cache: Dict[int, List[List[int]]] = {}
+        parts_by_pid: Dict[int, List[List[int]]] = {}
+        for pid in range(config.n):
+            value = effective[pid]
+            if value not in parts_cache:
+                parts_cache[value] = self.parts_of(value)
+            parts_by_pid[pid] = parts_cache[value]
         default_parts = self.parts_of(config.default_value)
 
         generation_results: List[GenerationResult] = []
@@ -178,8 +183,14 @@ class MultiValuedConsensus:
             for pid in honest:
                 decisions[pid] = config.default_value
         else:
+            # Identical per-generation decisions reassemble to the same
+            # value; share the packing across fault-free processors.
+            value_cache: Dict[tuple, int] = {}
             for pid in honest:
-                decisions[pid] = self.value_of(decided_parts[pid])
+                key = tuple(tuple(part) for part in decided_parts[pid])
+                if key not in value_cache:
+                    value_cache[key] = self.value_of(decided_parts[pid])
+                decisions[pid] = value_cache[key]
 
         honest_inputs = [inputs[pid] for pid in honest]
         honest_inputs_equal = len(set(honest_inputs)) == 1

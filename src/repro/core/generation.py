@@ -68,6 +68,7 @@ class GenerationProtocol:
         self._clique_cache: Dict[Tuple, Optional[Tuple[int, ...]]] = {}
         self._decode_cache: Dict[frozenset, Tuple[int, ...]] = {}
         self._consistency_cache: Dict[frozenset, bool] = {}
+        self._encode_cache: Dict[Tuple[int, ...], List[int]] = {}
 
     # -- helpers -----------------------------------------------------------------
 
@@ -86,6 +87,17 @@ class GenerationProtocol:
                     "%r vs %r (pid %d)"
                     % (what, self.generation, reference, views[pid], pid)
                 )
+
+    def _cached_encode(self, part: Sequence[int]) -> List[int]:
+        """Memoised ``encode``: encoding is deterministic, so processors
+        holding the same part (the common all-equal-inputs case) share one
+        codeword computation instead of encoding once per processor."""
+        key = tuple(part)
+        cached = self._encode_cache.get(key)
+        if cached is None:
+            cached = self.code.encode(list(key))
+            self._encode_cache[key] = cached
+        return cached
 
     def _cached_decode(self, positions: Dict[int, int]) -> Tuple[int, ...]:
         """Memoised ``decode_subset``: in the common case every fault-free
@@ -228,7 +240,7 @@ class GenerationProtocol:
                     "pid %d: expected %d symbols, got %d"
                     % (pid, self.k, len(part))
                 )
-            codewords[pid] = self.code.encode(part)
+            codewords[pid] = self._cached_encode(part)
 
         symbol_tag = "%s.matching.symbols" % self.tag
         for sender in range(self.n):

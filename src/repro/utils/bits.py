@@ -5,11 +5,77 @@ each generation as a vector of ``k = n - 2t`` symbols from ``GF(2^c)``.
 These helpers convert between Python integers, bit lists, byte strings and
 symbol vectors deterministically (big-endian bit order throughout), so that
 every processor derives an identical symbol view of the same input.
+
+Wide conversions (multi-kilobit values, the protocol's per-run plumbing)
+run through ``np.unpackbits``/``np.packbits`` on the value's big-endian
+byte form instead of per-bit Python loops; narrow ones keep the original
+string-formatting fast path, which beats numpy's per-call overhead below
+a few machine words.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence
+
+import numpy as np
+
+#: Below this width the pure-Python string paths win over numpy call
+#: overhead; above it the vectorised byte paths win by orders of magnitude.
+_VECTOR_THRESHOLD_BITS = 64
+
+
+def _bit_array(value: int, width: int) -> np.ndarray:
+    """``width`` bits of ``value`` as a uint8 array, MSB first."""
+    if width == 0:
+        return np.zeros(0, dtype=np.uint8)
+    nbytes = (width + 7) // 8
+    raw = value.to_bytes(nbytes, "big")
+    bits = np.unpackbits(np.frombuffer(raw, dtype=np.uint8))
+    return bits[8 * nbytes - width:]
+
+
+def _int_of_bit_array(bits: np.ndarray) -> int:
+    """Inverse of :func:`_bit_array` (MSB first)."""
+    width = bits.shape[0]
+    if width == 0:
+        return 0
+    pad = (-width) % 8
+    if pad:
+        bits = np.concatenate([np.zeros(pad, dtype=np.uint8), bits])
+    return int.from_bytes(np.packbits(bits).tobytes(), "big")
+
+
+def ints_to_bit_matrix(values: Sequence[int], width: int) -> np.ndarray:
+    """Render ``len(values)`` non-negative ints as a ``(len, width)`` uint8
+    bit matrix, MSB first.  Values must fit in ``width`` bits (checked by
+    the callers).  The shared primitive behind wide symbol packing here
+    and super-symbol row packing in the interleaved code."""
+    count = len(values)
+    if count == 0 or width == 0:
+        return np.zeros((count, width), dtype=np.uint8)
+    nbytes = (width + 7) // 8
+    raw = b"".join(int(v).to_bytes(nbytes, "big") for v in values)
+    octets = np.frombuffer(raw, dtype=np.uint8).reshape(count, nbytes)
+    return np.unpackbits(octets, axis=1)[:, 8 * nbytes - width:]
+
+
+def bit_matrix_to_ints(bits: np.ndarray) -> List[int]:
+    """Inverse of :func:`ints_to_bit_matrix`: ``(count, width)`` uint8 bit
+    rows (MSB first) back to a list of Python ints."""
+    count, width = bits.shape
+    if count == 0 or width == 0:
+        return [0] * count
+    pad = (-width) % 8
+    if pad:
+        bits = np.concatenate(
+            [np.zeros((count, pad), dtype=np.uint8), bits], axis=1
+        )
+    data = np.packbits(bits, axis=1).tobytes()
+    nbytes = (width + pad) // 8
+    return [
+        int.from_bytes(data[i * nbytes:(i + 1) * nbytes], "big")
+        for i in range(count)
+    ]
 
 
 def int_to_bits(value: int, width: int) -> List[int]:
@@ -26,9 +92,11 @@ def int_to_bits(value: int, width: int) -> List[int]:
         raise ValueError("value %d does not fit in %d bits" % (value, width))
     if width == 0:
         return []
-    # String formatting runs in C and avoids the quadratic cost of
-    # shifting a large int once per bit position.
-    return [1 if ch == "1" else 0 for ch in format(value, "0%db" % width)]
+    if width <= _VECTOR_THRESHOLD_BITS:
+        # String formatting runs in C and avoids the quadratic cost of
+        # shifting a large int once per bit position.
+        return [1 if ch == "1" else 0 for ch in format(value, "0%db" % width)]
+    return _bit_array(value, width).tolist()
 
 
 def bits_to_int(bits: Sequence[int]) -> int:
@@ -36,26 +104,53 @@ def bits_to_int(bits: Sequence[int]) -> int:
     bits = list(bits)
     if not bits:
         return 0
-    if any(bit not in (0, 1) for bit in bits):
-        bad = next(bit for bit in bits if bit not in (0, 1))
-        raise ValueError("bits must be 0 or 1, got %r" % (bad,))
-    # int(str, 2) parses in C; joining digits beats per-bit shifting of a
-    # growing big integer.
-    return int("".join("1" if bit else "0" for bit in bits), 2)
+    if len(bits) <= _VECTOR_THRESHOLD_BITS:
+        if any(bit not in (0, 1) for bit in bits):
+            bad = next(bit for bit in bits if bit not in (0, 1))
+            raise ValueError("bits must be 0 or 1, got %r" % (bad,))
+        # int(str, 2) parses in C; joining digits beats per-bit shifting of
+        # a growing big integer.
+        return int("".join("1" if bit else "0" for bit in bits), 2)
+    arr = np.asarray(bits)
+    if arr.ndim == 1 and (
+        arr.dtype == np.bool_ or np.issubdtype(arr.dtype, np.integer)
+    ):
+        bad_mask = (arr < 0) | (arr > 1)
+        if bad_mask.any():
+            raise ValueError(
+                "bits must be 0 or 1, got %r" % (int(arr[bad_mask][0]),)
+            )
+    else:
+        # Exotic element types (floats, strings, objects): validate with
+        # the exact scalar semantics before any lossy numpy cast.
+        if any(bit not in (0, 1) for bit in bits):
+            bad = next(bit for bit in bits if bit not in (0, 1))
+            raise ValueError("bits must be 0 or 1, got %r" % (bad,))
+        arr = np.asarray([1 if bit else 0 for bit in bits])
+    return _int_of_bit_array(arr.astype(np.uint8))
 
 
 def pack_symbols(symbols: Sequence[int], symbol_bits: int) -> int:
     """Pack a symbol vector into a single integer, first symbol high."""
     if symbol_bits <= 0:
         raise ValueError("symbol_bits must be positive, got %d" % symbol_bits)
-    value = 0
+    symbols = list(symbols)
     for symbol in symbols:
         if symbol < 0 or symbol >> symbol_bits:
             raise ValueError(
                 "symbol %d does not fit in %d bits" % (symbol, symbol_bits)
             )
-        value = (value << symbol_bits) | symbol
-    return value
+    total_bits = len(symbols) * symbol_bits
+    if total_bits <= _VECTOR_THRESHOLD_BITS:
+        value = 0
+        for symbol in symbols:
+            value = (value << symbol_bits) | symbol
+        return value
+    # Render each symbol to a bit row, concatenate, and re-pack — linear
+    # in the total bit count, unlike big-int shifting which is quadratic
+    # in the number of symbols.
+    bits = ints_to_bit_matrix(symbols, symbol_bits)
+    return _int_of_bit_array(bits.reshape(total_bits))
 
 
 def unpack_symbols(value: int, count: int, symbol_bits: int) -> List[int]:
@@ -73,10 +168,19 @@ def unpack_symbols(value: int, count: int, symbol_bits: int) -> List[int]:
             "value %d does not fit in %d symbols of %d bits"
             % (value, count, symbol_bits)
         )
-    mask = (1 << symbol_bits) - 1
-    return [
-        (value >> ((count - 1 - i) * symbol_bits)) & mask for i in range(count)
-    ]
+    if total_bits <= _VECTOR_THRESHOLD_BITS:
+        mask = (1 << symbol_bits) - 1
+        return [
+            (value >> ((count - 1 - i) * symbol_bits)) & mask
+            for i in range(count)
+        ]
+    bits = _bit_array(value, total_bits).reshape(count, symbol_bits)
+    if symbol_bits < 63:
+        weights = 1 << np.arange(symbol_bits - 1, -1, -1, dtype=np.int64)
+        return (bits.astype(np.int64) @ weights).tolist()
+    # Wide symbols (the protocol's multi-hundred-bit super-symbols) cannot
+    # live in int64 lanes: read each bit row back as a big int.
+    return bit_matrix_to_ints(bits)
 
 
 def bytes_to_symbols(data: bytes, symbol_bits: int) -> List[int]:

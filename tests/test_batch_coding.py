@@ -1,0 +1,278 @@
+"""Batched↔scalar equivalence for the vectorized coding engine.
+
+The vectorized paths (``GF.matmat``, ``GF.poly_eval_many``,
+``ReedSolomonCode.encode_many``/``extend_many``/``syndrome_many`` and the
+numpy-backed :class:`InterleavedCode`) must agree bit-for-bit with slow
+scalar references built from the field's single-element operations —
+across code shapes, field widths and interleave depths, including the
+edge cases k=1, interleave=1 and c=16.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.coding.gf import GF, GFElementError
+from repro.coding.interleaved import InterleavedCode
+from repro.coding.reed_solomon import ReedSolomonCode
+
+#: (n, k, c) shapes: generic, k=1, c=1/n=1 degenerate, wide field c=16,
+#: and a taller code.
+RS_SHAPES = [
+    (7, 3, 4),
+    (7, 1, 3),
+    (1, 1, 1),
+    (7, 3, 16),
+    (15, 5, 4),
+    (6, 6, 3),  # n == k: no parity symbols at all
+]
+
+#: (n, k, c, interleave) shapes, including interleave=1 and c=16.
+INTERLEAVED_SHAPES = [
+    (7, 3, 4, 1),
+    (7, 3, 4, 3),
+    (7, 1, 3, 5),
+    (7, 3, 16, 2),
+    (15, 5, 4, 7),
+    (7, 3, 13, 39),  # the n=7, L=2^19 production shape
+]
+
+
+def scalar_encode(code: ReedSolomonCode, data):
+    """Reference encode: interpolate through the first k points, then
+    evaluate the polynomial at every point with scalar field ops."""
+    field = code.field
+    coeffs = field.lagrange_interpolate(code.points[: code.k], list(data))
+    return [field.poly_eval(coeffs, x) for x in code.points]
+
+
+def scalar_rows_of(symbol, rows, c):
+    mask = (1 << c) - 1
+    return [(symbol >> ((rows - 1 - r) * c)) & mask for r in range(rows)]
+
+
+def scalar_join(row_symbols, c):
+    value = 0
+    for symbol in row_symbols:
+        value = (value << c) | symbol
+    return value
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return random.Random(0xC0DE)
+
+
+class TestGFBatchedOps:
+    @pytest.mark.parametrize("c", [1, 4, 8, 16])
+    def test_matmat_matches_per_column_matvec(self, c, rng):
+        field = GF.get(c)
+        m, k, p = 5, 3, 4
+        lhs = np.array(
+            [[rng.randrange(field.order) for _ in range(k)] for _ in range(m)]
+        )
+        rhs = np.array(
+            [[rng.randrange(field.order) for _ in range(p)] for _ in range(k)]
+        )
+        product = field.matmat(lhs, rhs)
+        assert product.shape == (m, p)
+        for j in range(p):
+            assert product[:, j].tolist() == field.matvec(
+                lhs, rhs[:, j].tolist()
+            )
+
+    def test_matmat_empty_inner_dimension(self):
+        field = GF.get(4)
+        product = field.matmat(
+            np.zeros((3, 0), dtype=np.int64), np.zeros((0, 2), dtype=np.int64)
+        )
+        assert product.shape == (3, 2)
+        assert not product.any()
+
+    @pytest.mark.parametrize("c", [2, 8, 16])
+    def test_poly_eval_many_matches_scalar(self, c, rng):
+        field = GF.get(c)
+        coeffs = [rng.randrange(field.order) for _ in range(4)]
+        xs = [rng.randrange(field.order) for _ in range(9)]
+        many = field.poly_eval_many(coeffs, xs)
+        assert many.tolist() == [field.poly_eval(coeffs, x) for x in xs]
+
+    def test_matvec_rejects_out_of_field_matrix(self):
+        field = GF.get(4)
+        bad = np.array([[1, 16], [0, 2]])  # 16 is outside GF(2^4)
+        with pytest.raises(GFElementError):
+            field.matvec(bad, [1, 2])
+        with pytest.raises(GFElementError):
+            field.matvec(np.array([[1, -1]]), [1, 2])
+
+    def test_matmat_rejects_out_of_field_operands(self):
+        field = GF.get(4)
+        good = np.zeros((2, 2), dtype=np.int64)
+        with pytest.raises(GFElementError):
+            field.matmat(np.array([[16, 0], [0, 0]]), good)
+        with pytest.raises(GFElementError):
+            field.matmat(good, np.array([[0, 0], [0, 16]]))
+
+    def test_alpha_accessor_matches_exp_table(self):
+        field = GF.get(8)
+        for j in range(field.order - 1):
+            assert field.alpha(j) == int(field.exp_table[j])
+        # Negative / wrapping exponents reduce mod (order - 1).
+        assert field.alpha(field.order - 1) == field.alpha(0) == 1
+        assert field.alpha(-1) == field.alpha(field.order - 2)
+
+    def test_exp_table_is_read_only(self):
+        field = GF.get(8)
+        with pytest.raises(ValueError):
+            field.exp_table[0] = 99
+
+
+class TestReedSolomonBatched:
+    @pytest.mark.parametrize("n,k,c", RS_SHAPES)
+    def test_encode_many_matches_scalar_polynomial(self, n, k, c, rng):
+        code = ReedSolomonCode(n, k, c)
+        data = np.array(
+            [
+                [rng.randrange(code.field.order) for _ in range(k)]
+                for _ in range(6)
+            ]
+        )
+        words = code.encode_many(data)
+        for row in range(6):
+            expected = scalar_encode(code, data[row].tolist())
+            assert words[row].tolist() == expected
+            assert code.encode(data[row].tolist()) == expected
+
+    @pytest.mark.parametrize("n,k,c", RS_SHAPES)
+    def test_extend_many_matches_extend(self, n, k, c, rng):
+        code = ReedSolomonCode(n, k, c)
+        positions = sorted(rng.sample(range(n), k))
+        values = np.array(
+            [
+                [rng.randrange(code.field.order) for _ in range(k)]
+                for _ in range(5)
+            ]
+        )
+        batched = code.extend_many(positions, values)
+        for row in range(5):
+            assert batched[row].tolist() == code.extend(
+                positions, values[row].tolist()
+            )
+
+    @pytest.mark.parametrize("n,k,c", RS_SHAPES)
+    def test_syndrome_agrees_with_interpolation_membership(self, n, k, c, rng):
+        code = ReedSolomonCode(n, k, c)
+        data = [rng.randrange(code.field.order) for _ in range(k)]
+        word = code.encode(data)
+        assert code.is_codeword(word)
+        assert not code.syndrome_many(np.array([word])).any()
+        if n > k:
+            # Any single-position corruption must flip the syndrome.
+            for pos in range(n):
+                tampered = list(word)
+                tampered[pos] ^= 1
+                assert not code.is_codeword(tampered)
+                interpolated = code.codeword_through(dict(enumerate(tampered)))
+                assert interpolated is None
+
+    def test_full_length_is_consistent_uses_same_answer(self, rng):
+        code = ReedSolomonCode(7, 3, 4)
+        word = code.encode([5, 9, 12])
+        full = dict(enumerate(word))
+        assert code.is_consistent(full)
+        corrupted = dict(full)
+        corrupted[6] ^= 3
+        assert not code.is_consistent(corrupted)
+        # Partial subsets still go through interpolation; answers agree.
+        partial = {p: corrupted[p] for p in range(5)}
+        assert code.is_consistent(partial) == (
+            code.codeword_through(partial) is not None
+        )
+
+
+class TestInterleavedBatched:
+    @pytest.mark.parametrize("n,k,c,interleave", INTERLEAVED_SHAPES)
+    def test_encode_matches_row_wise_scalar(self, n, k, c, interleave, rng):
+        code = InterleavedCode(n, k, c, interleave)
+        base = ReedSolomonCode(n, k, c)
+        data = [rng.randrange(code.symbol_limit) for _ in range(k)]
+        word = code.encode(data)
+        # Reference: split each super-symbol, encode every row with the
+        # scalar polynomial path, re-pack column-wise.
+        row_data = [scalar_rows_of(s, interleave, c) for s in data]
+        row_words = [
+            scalar_encode(base, [row_data[i][r] for i in range(k)])
+            for r in range(interleave)
+        ]
+        expected = [
+            scalar_join([row_words[r][j] for r in range(interleave)], c)
+            for j in range(n)
+        ]
+        assert word == expected
+
+    @pytest.mark.parametrize("n,k,c,interleave", INTERLEAVED_SHAPES)
+    def test_decode_subset_roundtrip_random_subsets(
+        self, n, k, c, interleave, rng
+    ):
+        code = InterleavedCode(n, k, c, interleave)
+        for _ in range(5):
+            data = [rng.randrange(code.symbol_limit) for _ in range(k)]
+            word = code.encode(data)
+            size = rng.randrange(k, n + 1)
+            subset = rng.sample(range(n), size)
+            assert code.decode_subset({p: word[p] for p in subset}) == data
+
+    @pytest.mark.parametrize("n,k,c,interleave", INTERLEAVED_SHAPES)
+    def test_consistency_matches_row_wise_scalar(
+        self, n, k, c, interleave, rng
+    ):
+        code = InterleavedCode(n, k, c, interleave)
+        base = ReedSolomonCode(n, k, c)
+        for trial in range(8):
+            data = [rng.randrange(code.symbol_limit) for _ in range(k)]
+            word = code.encode(data)
+            size = rng.randrange(k, n + 1)
+            subset = rng.sample(range(n), size)
+            symbols = {p: word[p] for p in subset}
+            if trial % 2 and n > k:
+                # Corrupt one random row lane of one random position.
+                pos = rng.choice(subset)
+                symbols[pos] ^= 1 << rng.randrange(code.symbol_bits)
+            rows = {
+                p: scalar_rows_of(s, interleave, c)
+                for p, s in symbols.items()
+            }
+            expected = all(
+                base.is_consistent({p: rows[p][r] for p in symbols})
+                for r in range(interleave)
+            )
+            assert code.is_consistent(symbols) == expected
+
+    def test_out_of_range_positions_rejected(self, rng):
+        # A full-count symbol map whose keys are NOT 0..n-1 must raise
+        # (as the scalar engine did), never be silently remapped onto the
+        # canonical positions by the syndrome fast path.
+        code = InterleavedCode(7, 3, 4, 2)
+        word = code.encode([1, 2, 3])
+        shifted = {p + 1: s for p, s in enumerate(word)}
+        with pytest.raises(ValueError):
+            code.is_consistent(shifted)
+        with pytest.raises(ValueError):
+            code.codeword_through({p - 1: s for p, s in enumerate(word)})
+        base = ReedSolomonCode(7, 3, 4)
+        base_word = base.encode([1, 2, 3])
+        with pytest.raises(ValueError):
+            base.is_consistent({p + 1: s for p, s in enumerate(base_word)})
+
+    def test_split_join_roundtrip_vectorized(self, rng):
+        code = InterleavedCode(7, 3, 13, 39)
+        symbols = [rng.randrange(code.symbol_limit) for _ in range(7)]
+        rows = code._split_many(symbols)
+        assert rows.shape == (39, 7)
+        assert code._join_many(rows) == symbols
+        # Single-symbol helpers agree with the batched ones.
+        for symbol in symbols:
+            split = code._split(symbol)
+            assert split == scalar_rows_of(symbol, 39, 13)
+            assert code._join(split) == symbol
