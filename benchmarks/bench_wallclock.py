@@ -41,6 +41,17 @@ SEED_BASELINE = {
     (10, 65536): {"seconds": 0.6769, "total_bits": 3731640},
 }
 
+#: Failure-free wall-clock after PR 1 (batched coding engine, scalar
+#: simulator), the "before" of the PR 2 simulator vectorization.  The
+#: n = 31 points have no earlier baseline: the scalar simulator made
+#: them impractical to track.
+PR1_BASELINE = {
+    (4, 16384): {"seconds": 0.0186},
+    (7, 65536): {"seconds": 0.0604},
+    (7, 524288): {"seconds": 0.1779},
+    (10, 65536): {"seconds": 0.0986},
+}
+
 #: Deterministic (machine-independent) failure-free bit totals for every
 #: grid point, including the quick grid — asserted on every run so the
 #: CI smoke actually catches on-wire behaviour drift.  The (7, 8192)
@@ -52,10 +63,18 @@ EXPECTED_BITS = {
     (7, 65536): 1448384,
     (7, 524288): 8834070,
     (10, 65536): 3731640,
+    (31, 4096): 58170880,
+    (31, 65536): 222381600,
 }
 
-FULL_GRID = [(4, 1 << 14), (7, 1 << 16), (7, 1 << 19), (10, 1 << 16)]
-QUICK_GRID = [(4, 1 << 12), (7, 1 << 13)]
+FULL_GRID = [
+    (4, 1 << 14),
+    (7, 1 << 16),
+    (7, 1 << 19),
+    (10, 1 << 16),
+    (31, 1 << 16),
+]
+QUICK_GRID = [(4, 1 << 12), (7, 1 << 13), (31, 1 << 12)]
 
 #: Deterministic input seed: every run times the identical workload.
 INPUT_SEED = 12345
@@ -91,7 +110,45 @@ def run_point(n: int, l_bits: int) -> dict:
         record["speedup_vs_seed"] = round(
             baseline["seconds"] / elapsed, 2
         ) if elapsed else None
+    pr1 = PR1_BASELINE.get((n, l_bits))
+    if pr1 is not None:
+        record["pr1_seconds"] = pr1["seconds"]
+        record["speedup_vs_pr1"] = round(
+            pr1["seconds"] / elapsed, 2
+        ) if elapsed else None
     return record
+
+
+def check_tracked_report(path: Path) -> None:
+    """Assert the tracked full-grid report's bit totals still match
+    :data:`EXPECTED_BITS` — metering drift (an edited expectation table, a
+    stale tracked record, or an engine change that altered on-wire
+    behaviour) fails loudly instead of silently corrupting the perf
+    trajectory."""
+    if not path.exists():
+        raise AssertionError("tracked report %s is missing" % path)
+    tracked = json.loads(path.read_text())
+    checked = 0
+    for record in tracked.get("results", []):
+        key = (record["n"], record["l_bits"])
+        expected = EXPECTED_BITS.get(key)
+        if expected is None:
+            raise AssertionError(
+                "tracked grid point (n=%d, L=%d) has no expected bit "
+                "total — add it to EXPECTED_BITS" % key
+            )
+        if record["total_bits"] != expected:
+            raise AssertionError(
+                "tracked report disagrees at (n=%d, L=%d): %d != %d"
+                % (key[0], key[1], record["total_bits"], expected)
+            )
+        checked += 1
+    if not checked:
+        raise AssertionError("tracked report %s has no results" % path)
+    print(
+        "checked %d tracked grid points against expected bit totals"
+        % checked
+    )
 
 
 def main() -> None:
@@ -109,6 +166,13 @@ def main() -> None:
         "at the repo root; quick mode writes BENCH_wallclock_quick.json so "
         "the tracked full-grid record is never clobbered)",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="also assert the tracked BENCH_wallclock.json bit totals "
+        "against the expected table (CI uses this so metering drift "
+        "fails the build)",
+    )
     args = parser.parse_args()
     if args.output is None:
         name = (
@@ -116,6 +180,11 @@ def main() -> None:
             else "BENCH_wallclock.json"
         )
         args.output = Path(__file__).resolve().parent.parent / name
+
+    if args.check:
+        check_tracked_report(
+            Path(__file__).resolve().parent.parent / "BENCH_wallclock.json"
+        )
 
     grid = QUICK_GRID if args.quick else FULL_GRID
     results = []
@@ -143,6 +212,10 @@ def main() -> None:
         "seed_baseline": [
             {"n": n, "l_bits": l, **vals}
             for (n, l), vals in sorted(SEED_BASELINE.items())
+        ],
+        "pr1_baseline": [
+            {"n": n, "l_bits": l, **vals}
+            for (n, l), vals in sorted(PR1_BASELINE.items())
         ],
         "results": results,
     }

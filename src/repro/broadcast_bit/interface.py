@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.network.metrics import BitMeter
 from repro.processors.adversary import Adversary, GlobalView
@@ -128,6 +128,27 @@ class BroadcastBackend(abc.ABC):
             for pid in range(self.n):
                 results[pid].append(outcome[pid])
         return results
+
+    def broadcast_bits_many(
+        self,
+        rows: Sequence[Tuple[int, Sequence[int]]],
+        tag: str,
+        ignored: FrozenSet[int] = frozenset(),
+    ) -> List[Dict[int, List[int]]]:
+        """Broadcast several bit strings under one tag: ``rows`` holds
+        ``(source, bits)`` pairs; the result aligns with ``rows``.
+
+        Semantically identical to one :meth:`broadcast_bits` call per
+        row (and this default implementation is exactly that); backends
+        with a cheaper bulk path override it with byte-identical
+        accounting.  This is the unit of the engines' vectorized
+        fast paths: one call per (stage, generation) instead of one per
+        (stage, generation, source).
+        """
+        return [
+            self.broadcast_bits(source, bits, tag, ignored)
+            for source, bits in rows
+        ]
 
     @abc.abstractmethod
     def _broadcast_one(

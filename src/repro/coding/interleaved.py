@@ -124,6 +124,46 @@ class InterleavedCode:
         row_data = self._split_many(data)  # (m, k)
         return self._join_many(self.base.encode_many(row_data))
 
+    def encode_generations(
+        self, parts: Sequence[Sequence[int]]
+    ) -> List[List[int]]:
+        """Encode ``g`` independent ``k``-super-symbol parts in one matmat.
+
+        All generations' rows are stacked into one
+        ``(g * interleave, k)`` array so the whole batch is a single
+        generator product — the ``(generations * rows, k)`` encode of the
+        cross-generation fast path.  Returns one ``n``-super-symbol
+        codeword list per part.
+        """
+        count = len(parts)
+        if count == 0:
+            return []
+        flat: List[int] = []
+        for part in parts:
+            part = list(part)
+            if len(part) != self.k:
+                raise ValueError(
+                    "expected %d data symbols per part, got %d"
+                    % (self.k, len(part))
+                )
+            flat.extend(part)
+        rows = self._split_many(flat)  # (m, count*k)
+        stacked = (
+            rows.reshape(self.rows, count, self.k)
+            .transpose(1, 0, 2)
+            .reshape(count * self.rows, self.k)
+        )
+        words = self.base.encode_many(stacked)  # (count*m, n)
+        merged = (
+            words.reshape(count, self.rows, self.n)
+            .transpose(1, 0, 2)
+            .reshape(self.rows, count * self.n)
+        )
+        symbols = self._join_many(merged)  # count*n super-symbols
+        return [
+            symbols[g * self.n:(g + 1) * self.n] for g in range(count)
+        ]
+
     def is_consistent(self, symbols: Dict[int, int]) -> bool:
         """True iff every interleaved row is consistent with a codeword."""
         if len(symbols) < self.k:

@@ -182,6 +182,25 @@ class ReedSolomonCode:
         """Encode an ``(m, k)`` array of data rows into ``(m, n)`` words."""
         return self._rows_matmat(data, self._generator.T, "data")
 
+    def encode_generations(
+        self, parts: Sequence[Sequence[int]]
+    ) -> List[List[int]]:
+        """Encode ``g`` independent ``k``-symbol parts in one matmat.
+
+        The cross-generation batching primitive: all failure-free
+        generations of a run encode as a single ``(g, k)`` row-stacked
+        product instead of ``g`` separate :meth:`encode` calls.  Returns
+        one ``n``-symbol codeword list per part.
+        """
+        if not parts:
+            return []
+        rows = np.asarray([list(part) for part in parts], dtype=np.int64)
+        if rows.ndim != 2 or rows.shape[1] != self.k:
+            raise ValueError(
+                "expected (g, %d) parts, got shape %r" % (self.k, rows.shape)
+            )
+        return self.encode_many(rows).tolist()
+
     def extend_many(
         self, positions: Sequence[int], values: np.ndarray
     ) -> np.ndarray:

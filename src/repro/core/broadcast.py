@@ -38,6 +38,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.analysis.complexity import broadcast_optimal_d
 from repro.broadcast_bit.ideal import default_b
 from repro.coding.interleaved import make_symbol_code
@@ -50,6 +52,7 @@ from repro.processors.adversary import Adversary, GlobalView
 from repro.utils.bits import (
     bits_to_int,
     int_to_bits,
+    is_exact_int,
     pack_symbols,
     unpack_symbols,
 )
@@ -237,10 +240,11 @@ class MultiValuedBroadcast:
                 default_used = True
                 break
             isolated = frozenset(graph.isolated)
+            source_trust = graph.trust_mask()[source]
             participating = [
                 j
                 for j in peers
-                if j not in isolated and graph.trusts(source, j)
+                if j not in isolated and source_trust[j]
             ]
             t_remaining = max(0, self.t - len(isolated))
             k_g = len(participating) - t_remaining
@@ -313,66 +317,116 @@ class MultiValuedBroadcast:
         participating_set = set(participating)
 
         codeword = code.encode(list(part))
+        mask = graph.trust_mask()
+
+        def valid_symbol(payload: object) -> Optional[int]:
+            # Exact int check: a Byzantine payload of True would pass an
+            # isinstance check and the range check as the symbol 1.
+            if is_exact_int(payload) and 0 <= payload < code.symbol_limit:
+                return payload
+            return None
 
         # -- stage 1: dispersal ------------------------------------------------
+        dispersal_tag = "%s.dispersal" % tag
         from_source: Dict[int, Optional[int]] = {}
-        for peer in participating:
-            symbol: Optional[int] = codeword[position[peer]]
-            if adversary.controls(source):
+        if participating and not adversary.controls(source):
+            # Honest source: one batch carries every peer's symbol.
+            receivers = np.asarray(participating, dtype=np.int64)
+            self.network.send_many(
+                np.full(len(participating), source, dtype=np.int64),
+                receivers,
+                [codeword[position[peer]] for peer in participating],
+                bits=c,
+                tag=dispersal_tag,
+            )
+        else:
+            for peer in participating:
                 symbol = adversary.source_symbol(
                     source, peer, codeword[position[peer]], g, view
                 )
-            if symbol is None:
-                continue
-            self.network.send(
-                source, peer, symbol, bits=c, tag="%s.dispersal" % tag
-            )
-        inboxes = self.network.deliver()
+                if symbol is None:
+                    continue
+                self.network.send(
+                    source, peer, symbol, bits=c, tag=dispersal_tag
+                )
+        delivery = self.network.deliver_arrays()
         for peer in participating:
-            value_received: Optional[int] = None
-            for message in inboxes[peer]:
-                if message.sender == source and graph.trusts(peer, source):
-                    if (
-                        isinstance(message.payload, int)
-                        and 0 <= message.payload < code.symbol_limit
-                    ):
-                        value_received = message.payload
-            from_source[peer] = value_received
+            from_source[peer] = None
+        for batch in delivery.batches:
+            for sender, recipient, payload in zip(
+                batch.senders.tolist(), batch.receivers.tolist(), batch.payloads
+            ):
+                if sender == source and mask[recipient, source]:
+                    from_source[recipient] = valid_symbol(payload)
+        for peer in participating:
+            for message in delivery.inboxes[peer]:
+                if message.sender == source and mask[peer, source]:
+                    value_received = valid_symbol(message.payload)
+                    if value_received is not None:
+                        from_source[peer] = value_received
 
         # -- stage 2: relay ------------------------------------------------------
+        relay_tag = "%s.relay" % tag
         relayed: Dict[int, Dict[int, Optional[int]]] = {
             peer: {} for peer in peers
         }
+        # Honest relayers that hold a symbol: one batch over the trust
+        # mask.  Faulty relayers (and honest ones holding nothing, which
+        # stay silent) go through the scalar per-edge hooks.
+        active_mask = np.zeros(self.n, dtype=bool)
+        active_mask[active_peers] = True
+        honest_rows = np.zeros(self.n, dtype=bool)
         for sender in participating:
+            if not adversary.controls(sender) and (
+                from_source.get(sender) is not None
+            ):
+                honest_rows[sender] = True
+        edge_mask = mask & honest_rows[:, np.newaxis] & active_mask[np.newaxis, :]
+        senders, receivers = np.nonzero(edge_mask)
+        if senders.shape[0]:
+            self.network.send_many(
+                senders,
+                receivers,
+                [from_source[s] for s in senders.tolist()],
+                bits=c,
+                tag=relay_tag,
+            )
+        for sender in participating:
+            if honest_rows[sender] or not adversary.controls(sender):
+                continue
             held = from_source.get(sender)
             for recipient in active_peers:
                 if recipient == sender:
                     continue
-                if not graph.trusts(sender, recipient):
+                if not mask[sender, recipient]:
                     continue
-                payload = held
-                if adversary.controls(sender):
-                    payload = adversary.forwarded_symbol(
-                        sender, recipient,
-                        held if held is not None else 0, g, view,
-                    )
+                payload = adversary.forwarded_symbol(
+                    sender, recipient,
+                    held if held is not None else 0, g, view,
+                )
                 if payload is None:
                     continue
                 self.network.send(
-                    sender, recipient, payload, bits=c, tag="%s.relay" % tag
+                    sender, recipient, payload, bits=c, tag=relay_tag
                 )
-        inboxes = self.network.deliver()
+        delivery = self.network.deliver_arrays()
+        for batch in delivery.batches:
+            for sender, recipient, payload in zip(
+                batch.senders.tolist(), batch.receivers.tolist(), batch.payloads
+            ):
+                if sender in participating_set and mask[recipient, sender]:
+                    value_received = valid_symbol(payload)
+                    if value_received is not None:
+                        relayed[recipient][sender] = value_received
         for peer in active_peers:
-            for message in inboxes[peer]:
+            for message in delivery.inboxes[peer]:
                 if message.sender not in participating_set:
                     continue
-                if not graph.trusts(peer, message.sender):
+                if not mask[peer, message.sender]:
                     continue
-                if (
-                    isinstance(message.payload, int)
-                    and 0 <= message.payload < code.symbol_limit
-                ):
-                    relayed[peer][message.sender] = message.payload
+                value_received = valid_symbol(message.payload)
+                if value_received is not None:
+                    relayed[peer][message.sender] = value_received
             if peer in participating_set:
                 own = from_source.get(peer)
                 if own is not None:
@@ -409,7 +463,7 @@ class MultiValuedBroadcast:
                     else:
                         symbols[position[peer]] = from_source[peer]
                     continue
-                if not graph.trusts(peer, other):
+                if not mask[peer, other]:
                     continue  # untrusted senders are ignored, not evidence
                 value_received = relayed[peer].get(other)
                 if value_received is None:

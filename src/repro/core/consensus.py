@@ -14,7 +14,9 @@ L-bit value per fault-free processor.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.config import ConsensusConfig
 from repro.core.generation import GenerationProtocol
@@ -30,6 +32,110 @@ from repro.processors.adversary import Adversary, GlobalView
 from repro.utils.bits import pack_symbols, unpack_symbols
 
 
+class _FastGenerationState:
+    """Precomputed state for the cross-generation failure-free fast path.
+
+    All ``L/D`` generations are independent until a fault or an input
+    mismatch surfaces, so their codewords are produced by *one* batched
+    ``(generations * rows, k)`` generator matmat
+    (:meth:`~repro.coding.reed_solomon.ReedSolomonCode.encode_generations`)
+    and each all-match generation replays as a handful of batched
+    bookkeeping calls — one :class:`~repro.network.message.SymbolBatch`
+    for the symbol exchange, one ``broadcast_bits_many`` per broadcast
+    stage — with byte-identical metering to the scalar protocol.
+
+    A generation is *all-match* when every processor holds the same part
+    for it: then every M vector is all-true, ``P_match`` is the first
+    ``n - t`` processors, no outsider detects, and every processor's
+    checking-stage decode returns the common part.  Any other generation
+    (and every generation once the diagnosis graph loses an edge) is
+    replayed through the scalar :class:`GenerationProtocol`.
+    """
+
+    def __init__(self, consensus: "MultiValuedConsensus",
+                 parts_by_pid: Dict[int, List[List[int]]]):
+        config = consensus.config
+        n = config.n
+        self.consensus = consensus
+        self.config = config
+        self.honest = sorted(range(n))  # fast path requires zero faults
+        self.p_match = tuple(range(n - config.t))
+        self.outsiders = list(range(n - config.t, n))
+        # Pairwise distinct part sequences; generation g is all-match iff
+        # every distinct sequence agrees on row g.
+        # parts_by_pid shares one list object per distinct input value, so
+        # identity is equality here.
+        distinct: List[List[List[int]]] = []
+        seen_ids = set()
+        for pid in range(n):
+            parts = parts_by_pid[pid]
+            if id(parts) not in seen_ids:
+                seen_ids.add(id(parts))
+                distinct.append(parts)
+        reference = distinct[0]
+        if len(distinct) == 1:
+            self.all_match = np.ones(config.generations, dtype=bool)
+        else:
+            self.all_match = np.array(
+                [
+                    all(
+                        other[g] == reference[g] for other in distinct[1:]
+                    )
+                    for g in range(config.generations)
+                ],
+                dtype=bool,
+            )
+        # The batched whole-run encode is deferred until the first
+        # all-match generation actually needs a codeword: with (say)
+        # fully differing honest inputs every generation replays scalar
+        # and the batch would be dead work.
+        self.parts = [tuple(part) for part in reference]
+        self._reference = reference
+        self._codewords: Optional[List[List[int]]] = None
+        # Complete-graph exchange edges, reused every generation.
+        off_diagonal = ~np.eye(n, dtype=bool)
+        self.senders, self.receivers = np.nonzero(off_diagonal)
+        self.sender_list = self.senders.tolist()
+        self.m_row = [1] * (n - 1)
+
+    def emit(self, g: int) -> GenerationResult:
+        """Replay generation ``g``'s failure-free bookkeeping, batched."""
+        consensus = self.consensus
+        config = self.config
+        if self._codewords is None:
+            # One (generations * rows, k) generator matmat for the whole
+            # run, on first use.
+            self._codewords = consensus.code.encode_generations(
+                self._reference
+            )
+        codeword = self._codewords[g]
+        tag = "gen%d" % g
+        consensus.network.send_many(
+            self.senders,
+            self.receivers,
+            [codeword[s] for s in self.sender_list],
+            bits=config.symbol_bits,
+            tag="%s.matching.symbols" % tag,
+        )
+        consensus.network.deliver_arrays()
+        consensus.backend.broadcast_bits_many(
+            [(i, self.m_row) for i in range(config.n)],
+            "%s.matching.M" % tag,
+        )
+        if self.outsiders:
+            consensus.backend.broadcast_bits_many(
+                [(q, [0]) for q in self.outsiders],
+                "%s.checking.detected" % tag,
+            )
+        part = self.parts[g]
+        return GenerationResult(
+            generation=g,
+            outcome=GenerationOutcome.DECIDED_CHECKING,
+            decisions={pid: part for pid in self.honest},
+            p_match=self.p_match,
+        )
+
+
 class MultiValuedConsensus:
     """Error-free multi-valued Byzantine consensus (Liang & Vaidya 2011)."""
 
@@ -38,8 +144,14 @@ class MultiValuedConsensus:
         config: ConsensusConfig,
         adversary: Optional[Adversary] = None,
         meter: Optional[BitMeter] = None,
+        batch_generations: bool = True,
     ):
         self.config = config
+        #: When True (the default), failure-free generations run through
+        #: the batched cross-generation fast path; False forces the
+        #: scalar per-generation protocol everywhere (used by the
+        #: equivalence tests, and as an escape hatch).
+        self.batch_generations = batch_generations
         self.adversary = adversary if adversary is not None else Adversary()
         if (
             not config.allow_t_ge_n3
@@ -154,22 +266,46 @@ class MultiValuedConsensus:
         }
         default_used = False
 
+        # Cross-generation batching: with no faulty processors and a
+        # complete diagnosis graph, generations are independent, so their
+        # codewords come from one batched encode and each all-match
+        # generation replays as a few batched bookkeeping calls.  Any
+        # generation that could deviate — differing parts, a Byzantine
+        # processor, a removed edge — runs the scalar per-generation
+        # protocol instead (and once an edge is removed the fast path
+        # stays off for the rest of the run).
+        fast: Optional[_FastGenerationState] = None
+        if (
+            self.batch_generations
+            and self.backend.error_free
+            and not self.adversary.faulty
+            and self.graph.is_complete()
+        ):
+            fast = _FastGenerationState(self, parts_by_pid)
+
         for g in range(config.generations):
             self._view_extras["generation"] = g
-            protocol = GenerationProtocol(
-                config=config,
-                code=self.code,
-                network=self.network,
-                graph=self.graph,
-                backend=self.backend,
-                adversary=self.adversary,
-                generation=g,
-                view_provider=self._make_view,
-            )
-            result = protocol.run(
-                {pid: parts_by_pid[pid][g] for pid in range(config.n)},
-                default_parts[g],
-            )
+            if (
+                fast is not None
+                and fast.all_match[g]
+                and self.graph.is_complete()
+            ):
+                result = fast.emit(g)
+            else:
+                protocol = GenerationProtocol(
+                    config=config,
+                    code=self.code,
+                    network=self.network,
+                    graph=self.graph,
+                    backend=self.backend,
+                    adversary=self.adversary,
+                    generation=g,
+                    view_provider=self._make_view,
+                )
+                result = protocol.run(
+                    {pid: parts_by_pid[pid][g] for pid in range(config.n)},
+                    default_parts[g],
+                )
             generation_results.append(result)
             if result.outcome is GenerationOutcome.NO_MATCH_DEFAULT:
                 # Line 1(f): the whole algorithm terminates on the default.

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.broadcast_bit.interface import BroadcastBackend
 from repro.coding.reed_solomon import DecodingError, ReedSolomonCode
 from repro.core.config import ConsensusConfig, ProtocolInvariantError
@@ -30,6 +32,7 @@ from repro.graphs.cliques import find_clique
 from repro.graphs.diagnosis_graph import DiagnosisGraph
 from repro.network.simulator import SyncNetwork
 from repro.processors.adversary import Adversary, GlobalView
+from repro.utils.bits import is_exact_int
 
 
 class GenerationProtocol:
@@ -119,7 +122,9 @@ class GenerationProtocol:
         return cached
 
     def _valid_symbol(self, payload: object) -> Optional[int]:
-        if isinstance(payload, int) and 0 <= payload < self.code.symbol_limit:
+        # Exact int check: a Byzantine payload of True would pass an
+        # isinstance check and the range check as the symbol 1.
+        if is_exact_int(payload) and 0 <= payload < self.code.symbol_limit:
             return payload
         return None
 
@@ -230,7 +235,13 @@ class GenerationProtocol:
         parts: Dict[int, Sequence[int]],
         isolated: FrozenSet[int],
     ) -> Tuple[Dict[int, List[int]], Dict[int, Dict[int, Optional[int]]]]:
-        """Lines 1(a)-1(b): encode and exchange one symbol per processor."""
+        """Lines 1(a)-1(b): encode and exchange one symbol per processor.
+
+        Honest senders' traffic moves as one :class:`SymbolBatch` per
+        round (no per-edge Message objects); faulty senders go through
+        the scalar path so the per-edge adversary hooks (equivocation,
+        selective silence) keep their exact semantics.
+        """
         view = self._view()
         codewords: Dict[int, List[int]] = {}
         for pid in range(self.n):
@@ -243,31 +254,59 @@ class GenerationProtocol:
             codewords[pid] = self._cached_encode(part)
 
         symbol_tag = "%s.matching.symbols" % self.tag
+        mask = self.graph.trust_mask()
+        live = np.ones(self.n, dtype=bool)
+        for pid in isolated:
+            live[pid] = False
+        honest_sender = live.copy()
+        for pid in range(self.n):
+            if self.adversary.controls(pid):
+                honest_sender[pid] = False
+        # Honest, live senders: every trusted live recipient gets the
+        # sender's own symbol — one batch for the whole round.
+        edge_mask = mask & honest_sender[:, np.newaxis] & live[np.newaxis, :]
+        senders, receivers = np.nonzero(edge_mask)
+        diagonal = [codewords[pid][pid] for pid in range(self.n)]
+        if senders.shape[0]:
+            self.network.send_many(
+                senders,
+                receivers,
+                [diagonal[s] for s in senders.tolist()],
+                bits=self.c,
+                tag=symbol_tag,
+            )
+        # Faulty live senders: scalar sends through the per-edge hooks.
         for sender in range(self.n):
-            if sender in isolated:
+            if not live[sender] or honest_sender[sender]:
                 continue
             own_symbol = codewords[sender][sender]
             for recipient in sorted(self.graph.trusted_by(sender)):
                 if recipient in isolated:
                     continue
-                payload: Optional[int] = own_symbol
-                if self.adversary.controls(sender):
-                    payload = self.adversary.matching_symbol(
-                        sender, recipient, own_symbol, self.generation, view
-                    )
+                payload = self.adversary.matching_symbol(
+                    sender, recipient, own_symbol, self.generation, view
+                )
                 if payload is None:
                     continue  # silent: no bits on the wire
                 self.network.send(
                     sender, recipient, payload, bits=self.c, tag=symbol_tag
                 )
-        inboxes = self.network.deliver()
+        delivery = self.network.deliver_arrays()
 
         received: Dict[int, Dict[int, Optional[int]]] = {
             pid: {} for pid in range(self.n)
         }
+        for batch in delivery.batches:
+            # Batched edges are honest traffic already filtered by the
+            # trust mask at send time (the mask is symmetric, so the
+            # receiver-side line 1(b) filter is equivalent).
+            for sender, recipient, payload in zip(
+                batch.senders.tolist(), batch.receivers.tolist(), batch.payloads
+            ):
+                received[recipient][sender] = self._valid_symbol(payload)
         for pid in range(self.n):
-            for message in inboxes[pid]:
-                if not self.graph.trusts(pid, message.sender):
+            for message in delivery.inboxes[pid]:
+                if not mask[pid, message.sender]:
                     continue  # line 1(b): ignore untrusted senders
                 received[pid][message.sender] = self._valid_symbol(
                     message.payload
@@ -288,14 +327,13 @@ class GenerationProtocol:
         """
         view = self._view()
         tag = "%s.matching.M" % self.tag
-        m_view: Dict[int, Dict[int, List[bool]]] = {
-            pid: {} for pid in range(self.n)
-        }
+        mask = self.graph.trust_mask()
+        rows: List[Tuple[int, List[int]]] = []
         for i in range(self.n):
             honest_m = [
                 j == i
                 or (
-                    self.graph.trusts(i, j)
+                    bool(mask[i, j])
                     and received[i].get(j) is not None
                     and received[i][j] == codewords[i][j]
                 )
@@ -310,8 +348,14 @@ class GenerationProtocol:
                 )
                 if len(m_i) != self.n:
                     m_i = (m_i + [False] * self.n)[: self.n]
-            bits = [1 if m_i[j] else 0 for j in range(self.n) if j != i]
-            outcome = self.backend.broadcast_bits(i, bits, tag, isolated)
+            rows.append(
+                (i, [1 if m_i[j] else 0 for j in range(self.n) if j != i])
+            )
+        outcomes = self.backend.broadcast_bits_many(rows, tag, isolated)
+        m_view: Dict[int, Dict[int, List[bool]]] = {
+            pid: {} for pid in range(self.n)
+        }
+        for (i, _), outcome in zip(rows, outcomes):
             for pid in range(self.n):
                 vector: List[bool] = []
                 index = 0
@@ -364,6 +408,7 @@ class GenerationProtocol:
             pid: {} for pid in range(self.n)
         }
         detectors: List[int] = []
+        rows: List[Tuple[int, List[int]]] = []
         for q in range(self.n):
             if q in match_set or q in isolated:
                 continue
@@ -376,11 +421,11 @@ class GenerationProtocol:
                 )
             elif flag:
                 detectors.append(q)
-            outcome = self.backend.broadcast_bit(
-                q, 1 if flag else 0, tag, isolated
-            )
+            rows.append((q, [1 if flag else 0]))
+        outcomes = self.backend.broadcast_bits_many(rows, tag, isolated)
+        for (q, _), outcome in zip(rows, outcomes):
             for pid in range(self.n):
-                detected_view[pid][q] = bool(outcome[pid])
+                detected_view[pid][q] = bool(outcome[pid][0])
         return detected_view, detectors
 
     # -- diagnosis stage --------------------------------------------------------------

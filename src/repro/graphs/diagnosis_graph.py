@@ -16,11 +16,18 @@ Invariants maintained by the protocol (paper §2, proven in Lemma 4):
 The class itself enforces only the structural rules (monotone removal,
 isolation bookkeeping); the semantic invariants are checked by the test
 suite against ground-truth fault sets.
+
+Adjacency is backed by an ``(n, n)`` boolean matrix so the engines'
+hot-path trust filtering is a single mask lookup (:meth:`trust_mask`)
+instead of per-edge :meth:`trusts` calls; the symmetric matrix and the
+removal history are kept in lockstep.
 """
 
 from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.graphs.cliques import find_clique
 
@@ -43,11 +50,14 @@ class DiagnosisGraph:
         if n < 2:
             raise ValueError("need at least 2 processors, got %d" % n)
         self.n = n
-        self._adjacency: Dict[int, Set[int]] = {
-            i: set(range(n)) - {i} for i in range(n)
-        }
+        adj = np.ones((n, n), dtype=bool)
+        np.fill_diagonal(adj, False)
+        self._adj: np.ndarray = adj
         self._removed: Set[FrozenSet[int]] = set()
         self._isolated: Set[int] = set()
+        #: memoised dict-of-sets view for the clique search; rebuilt only
+        #: after an edge removal.
+        self._sets_cache: Optional[Dict[int, Set[int]]] = None
 
     # -- queries ------------------------------------------------------------
 
@@ -57,21 +67,33 @@ class DiagnosisGraph:
         self._check(j)
         if i == j:
             return True
-        return j in self._adjacency[i]
+        return bool(self._adj[i, j])
+
+    def trust_mask(self) -> np.ndarray:
+        """The adjacency matrix as a read-only boolean mask.
+
+        ``mask[i, j]`` is True iff ``i`` and ``j`` (``i != j``) trust each
+        other; the diagonal is False.  The view is backed by live graph
+        state — it reflects subsequent removals — and is marked
+        non-writeable so callers cannot bypass :meth:`remove_edge`.
+        """
+        view = self._adj.view()
+        view.flags.writeable = False
+        return view
 
     def trusted_by(self, i: int) -> Set[int]:
         """The set of processors ``i`` trusts (excluding itself)."""
         self._check(i)
-        return set(self._adjacency[i])
+        return set(map(int, np.flatnonzero(self._adj[i])))
 
     def degree(self, i: int) -> int:
         self._check(i)
-        return len(self._adjacency[i])
+        return int(self._adj[i].sum())
 
     def removed_edges_at(self, i: int) -> int:
         """How many of ``i``'s original ``n - 1`` edges have been removed."""
         self._check(i)
-        return (self.n - 1) - len(self._adjacency[i])
+        return (self.n - 1) - self.degree(i)
 
     def is_isolated(self, i: int) -> bool:
         """True iff ``i`` has been explicitly isolated as identified-faulty."""
@@ -82,14 +104,14 @@ class DiagnosisGraph:
     def isolated(self) -> Set[int]:
         return set(self._isolated)
 
+    def is_complete(self) -> bool:
+        """True iff no edge has ever been removed (the failure-free state)."""
+        return not self._removed
+
     def edges(self) -> List[Tuple[int, int]]:
         """All present edges as sorted (i, j) pairs with i < j."""
-        return [
-            (i, j)
-            for i in range(self.n)
-            for j in self._adjacency[i]
-            if i < j
-        ]
+        upper = np.triu(self._adj, k=1)
+        return [(int(i), int(j)) for i, j in np.argwhere(upper)]
 
     def removed_edges(self) -> List[Tuple[int, int]]:
         """All removed edges as sorted (i, j) pairs with i < j."""
@@ -107,18 +129,19 @@ class DiagnosisGraph:
         self._check(j)
         if i == j:
             raise ValueError("diagnosis graph has no self-edges")
-        if j not in self._adjacency[i]:
+        if not self._adj[i, j]:
             return False
-        self._adjacency[i].discard(j)
-        self._adjacency[j].discard(i)
+        self._adj[i, j] = False
+        self._adj[j, i] = False
         self._removed.add(frozenset((i, j)))
+        self._sets_cache = None
         return True
 
     def isolate(self, i: int) -> None:
         """Mark ``i`` identified-faulty and drop all its remaining edges."""
         self._check(i)
         self._isolated.add(i)
-        for j in list(self._adjacency[i]):
+        for j in map(int, np.flatnonzero(self._adj[i])):
             self.remove_edge(i, j)
 
     def apply_overdegree_rule(self, t: int) -> List[int]:
@@ -131,16 +154,28 @@ class DiagnosisGraph:
         picked up on the next diagnosis.  (Fault-free vertices can never
         exceed the threshold: they keep their >= n - t - 1 mutual edges.)
         """
+        degrees = self._adj.sum(axis=1)
         over = [
             i
             for i in range(self.n)
-            if i not in self._isolated and self.removed_edges_at(i) >= t + 1
+            if i not in self._isolated
+            and (self.n - 1) - int(degrees[i]) >= t + 1
         ]
         for i in over:
             self.isolate(i)
         return over
 
     # -- set finding ----------------------------------------------------------
+
+    def _adjacency_sets(self) -> Dict[int, Set[int]]:
+        """Dict-of-sets view of the matrix (for the clique search),
+        memoised until the next edge removal."""
+        if self._sets_cache is None:
+            self._sets_cache = {
+                i: set(map(int, np.flatnonzero(self._adj[i])))
+                for i in range(self.n)
+            }
+        return self._sets_cache
 
     def find_trusting_set(
         self, size: int, candidates: Optional[Sequence[int]] = None
@@ -150,7 +185,7 @@ class DiagnosisGraph:
         Used for ``P_decide`` (line 3(h)).  Deterministic; returns ``None``
         if no such set exists.
         """
-        return find_clique(self._adjacency, size, candidates)
+        return find_clique(self._adjacency_sets(), size, candidates)
 
     # -- serialization --------------------------------------------------------
 
@@ -180,9 +215,10 @@ class DiagnosisGraph:
 
     def copy(self) -> "DiagnosisGraph":
         dup = DiagnosisGraph(self.n)
-        dup._adjacency = {i: set(adj) for i, adj in self._adjacency.items()}
+        dup._adj = self._adj.copy()
         dup._removed = set(self._removed)
         dup._isolated = set(self._isolated)
+        dup._sets_cache = None
         return dup
 
     def __repr__(self) -> str:

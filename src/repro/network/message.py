@@ -1,9 +1,23 @@
-"""Message record for the synchronous simulator."""
+"""Message records for the synchronous simulator.
+
+Two granularities share the same on-wire semantics:
+
+* :class:`Message` — one payload on one directed channel (the scalar
+  unit of the simulator's original API, still used by tests, journals
+  and adversarial paths);
+* :class:`SymbolBatch` — every payload sent under one ``(tag, round)``
+  as parallel sender/receiver/payload arrays, the unit of the
+  vectorized :meth:`~repro.network.simulator.SyncNetwork.send_many`
+  path.  A batch can always be :meth:`~SymbolBatch.materialize`-d back
+  into the equivalent list of :class:`Message` objects.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, List, Sequence
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -29,3 +43,59 @@ class Message:
             raise ValueError("no self-channels: sender == receiver == %d" % self.sender)
         if self.bits < 0:
             raise ValueError("bits must be non-negative, got %d" % self.bits)
+
+
+@dataclass(frozen=True)
+class SymbolBatch:
+    """All messages of one ``(tag, round)`` as parallel edge arrays.
+
+    ``senders`` and ``receivers`` are equal-length int arrays;
+    ``payloads`` is the aligned payload list — always Python scalars,
+    never numpy ones, so receivers' exact-type payload validation sees
+    the same values the scalar path would carry.  ``bits`` is the
+    accounted size *per message* — every message in a batch is the same
+    protocol step, so all carry the same bit count, and the batch meters
+    ``bits * len`` in one accounting entry.
+    """
+
+    tag: str
+    senders: np.ndarray
+    receivers: np.ndarray
+    payloads: Sequence[Any]
+    bits: int
+    round_index: int = -1
+
+    def __post_init__(self) -> None:
+        if self.bits < 0:
+            raise ValueError("bits must be non-negative, got %d" % self.bits)
+        if not (
+            len(self.senders) == len(self.receivers) == len(self.payloads)
+        ):
+            raise ValueError(
+                "batch arrays disagree on length: %d senders, %d "
+                "receivers, %d payloads"
+                % (len(self.senders), len(self.receivers), len(self.payloads))
+            )
+
+    def __len__(self) -> int:
+        return len(self.senders)
+
+    def materialize(self) -> List[Message]:
+        """The batch as scalar :class:`Message` objects (journal order is
+        the caller's concern; this preserves batch order)."""
+        payloads = self.payloads
+        if isinstance(payloads, np.ndarray):
+            payloads = payloads.tolist()
+        return [
+            Message(
+                sender=int(sender),
+                receiver=int(receiver),
+                payload=payload,
+                bits=self.bits,
+                tag=self.tag,
+                round_index=self.round_index,
+            )
+            for sender, receiver, payload in zip(
+                self.senders.tolist(), self.receivers.tolist(), payloads
+            )
+        ]

@@ -38,18 +38,27 @@ class MeterSnapshot:
         )
 
     def diff(self, earlier: "MeterSnapshot") -> "MeterSnapshot":
-        """Bits/messages accumulated since ``earlier``."""
-        bits = {
-            tag: count - earlier.bits_by_tag.get(tag, 0)
-            for tag, count in self.bits_by_tag.items()
-            if count != earlier.bits_by_tag.get(tag, 0)
-        }
-        msgs = {
-            tag: count - earlier.messages_by_tag.get(tag, 0)
-            for tag, count in self.messages_by_tag.items()
-            if count != earlier.messages_by_tag.get(tag, 0)
-        }
-        return MeterSnapshot(bits_by_tag=bits, messages_by_tag=msgs)
+        """Bits/messages accumulated since ``earlier``.
+
+        Deltas can be negative — e.g. diffing across a
+        :meth:`BitMeter.reset` — and tags present only in ``earlier``
+        are reported with their (negative) delta rather than dropped, so
+        a diff never silently hides traffic that disappeared.
+        """
+
+        def deltas(now: Dict[str, int], before: Dict[str, int]) -> Dict[str, int]:
+            return {
+                tag: now.get(tag, 0) - before.get(tag, 0)
+                for tag in set(now) | set(before)
+                if now.get(tag, 0) != before.get(tag, 0)
+            }
+
+        return MeterSnapshot(
+            bits_by_tag=deltas(self.bits_by_tag, earlier.bits_by_tag),
+            messages_by_tag=deltas(
+                self.messages_by_tag, earlier.messages_by_tag
+            ),
+        )
 
 
 @dataclass

@@ -6,18 +6,53 @@ the standard lockstep synchronous model of the paper.  The network never
 drops, duplicates, reorders within a (sender, receiver) pair, or forges
 messages; Byzantine behaviour lives entirely in *what* faulty processors
 choose to send (see :mod:`repro.processors.byzantine`), not in the network.
+
+Two delivery granularities coexist:
+
+* the scalar path — :meth:`SyncNetwork.send` one :class:`Message` per
+  edge, :meth:`SyncNetwork.deliver` per-receiver inboxes — kept for
+  tests, journals and adversarial paths;
+* the vectorized path — :meth:`SyncNetwork.send_many` one
+  :class:`SymbolBatch` (parallel sender/receiver/payload arrays) per
+  ``(tag, round)``, :meth:`SyncNetwork.deliver_arrays` the batches
+  untouched — which moves no per-edge Python objects at all.
+
+Both paths share the round clock, the duplicate-detection bookkeeping and
+the :class:`BitMeter`, and their accounting is byte-identical: a batch of
+``m`` messages of ``b`` bits meters exactly like ``m`` scalar sends of
+``b`` bits.  Mixing the two in one round is allowed; ``deliver`` always
+reports everything (materializing batches into messages), while
+``deliver_arrays`` keeps batches as arrays and only materializes for the
+journal.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
 
-from repro.network.message import Message
+import numpy as np
+
+from repro.network.message import Message, SymbolBatch
 from repro.network.metrics import BitMeter
 
 
 class NetworkError(RuntimeError):
-    """Raised on misuse of the simulator (bad pid, send after shutdown)."""
+    """Raised on misuse of the simulator (bad pid, self-send, duplicates)."""
+
+
+@dataclass
+class RoundDelivery:
+    """Everything delivered at the end of one round, arrays kept as arrays.
+
+    ``inboxes`` holds the round's *scalar* messages exactly as
+    :meth:`SyncNetwork.deliver` would report them; ``batches`` holds the
+    round's :class:`SymbolBatch` objects in send order, unmaterialized.
+    """
+
+    round_index: int
+    inboxes: Dict[int, List[Message]]
+    batches: List[SymbolBatch] = field(default_factory=list)
 
 
 class SyncNetwork:
@@ -44,9 +79,16 @@ class SyncNetwork:
         self.meter = meter if meter is not None else BitMeter()
         self.round_index = 0
         self._pending: List[Message] = []
+        self._pending_batches: List[SymbolBatch] = []
         self._sent_this_round: Dict[tuple, bool] = {}
+        #: packed (sender * n + receiver) edge ids per tag, covering the
+        #: round's batched sends — the duplicate check the scalar path and
+        #: later batches test against.
+        self._batch_edges: Dict[str, List[np.ndarray]] = {}
         #: When journalling, every delivered message is retained here in
         #: delivery order — an execution trace for debugging and audits.
+        #: Batched sends are materialized into the journal so the trace is
+        #: identical whichever path produced the traffic.
         self.journal: Optional[List[Message]] = [] if journal else None
 
     def _check_pid(self, pid: int) -> None:
@@ -64,8 +106,15 @@ class SyncNetwork:
         """
         self._check_pid(sender)
         self._check_pid(receiver)
+        if sender == receiver:
+            raise NetworkError(
+                "self-send: processor %d to itself in round %d"
+                % (sender, self.round_index)
+            )
         key = (sender, receiver, tag)
-        if key in self._sent_this_round:
+        if key in self._sent_this_round or self._edge_in_batches(
+            tag, sender, receiver
+        ):
             raise NetworkError(
                 "duplicate message %r in round %d" % (key, self.round_index)
             )
@@ -81,25 +130,169 @@ class SyncNetwork:
         self.meter.add(tag, bits)
         self._pending.append(message)
 
+    def _edge_in_batches(self, tag: str, sender: int, receiver: int) -> bool:
+        packed = sender * self.n + receiver
+        for edges in self._batch_edges.get(tag, ()):
+            if packed in edges:
+                return True
+        return False
+
+    def send_many(
+        self,
+        senders: Sequence[int],
+        receivers: Sequence[int],
+        payloads: Sequence[Any],
+        bits: int,
+        tag: str,
+    ) -> None:
+        """Buffer one message per ``(senders[i], receivers[i])`` edge.
+
+        The batched equivalent of ``len(senders)`` :meth:`send` calls of
+        ``bits`` bits each under ``tag`` — same validation (pid ranges,
+        no self-sends, at most one message per (sender, receiver, tag)
+        per round, including against scalar sends), same metering totals
+        — without constructing any per-edge :class:`Message` objects.
+        ``payloads`` may be an ndarray or a list (symbols wider than an
+        int64 lane stay Python ints).
+        """
+        senders = np.asarray(senders, dtype=np.int64)
+        receivers = np.asarray(receivers, dtype=np.int64)
+        if senders.shape != receivers.shape or senders.ndim != 1:
+            raise NetworkError(
+                "senders/receivers must be equal-length 1-d arrays, got "
+                "%r and %r" % (senders.shape, receivers.shape)
+            )
+        if len(payloads) != senders.shape[0]:
+            raise NetworkError(
+                "payload count %d does not match edge count %d"
+                % (len(payloads), senders.shape[0])
+            )
+        if bits < 0:
+            raise ValueError("bits must be non-negative, got %d" % bits)
+        count = senders.shape[0]
+        if count == 0:
+            return
+        if (senders < 0).any() or (senders >= self.n).any() or (
+            (receivers < 0).any() or (receivers >= self.n).any()
+        ):
+            bad = senders[(senders < 0) | (senders >= self.n)]
+            if bad.shape[0] == 0:
+                bad = receivers[(receivers < 0) | (receivers >= self.n)]
+            raise NetworkError(
+                "processor id %d out of range [0, %d)" % (int(bad[0]), self.n)
+            )
+        self_mask = senders == receivers
+        if self_mask.any():
+            raise NetworkError(
+                "self-send: processor %d to itself in round %d"
+                % (int(senders[self_mask][0]), self.round_index)
+            )
+        packed = senders * self.n + receivers
+        unique = np.unique(packed)
+        duplicate = None
+        if unique.shape[0] != count:
+            # Intra-batch duplicate: find one for the error message.
+            order = np.argsort(packed, kind="stable")
+            repeats = np.flatnonzero(np.diff(packed[order]) == 0)
+            duplicate = int(packed[order][repeats[0]])
+        else:
+            for edges in self._batch_edges.get(tag, ()):
+                clash = np.isin(unique, edges)
+                if clash.any():
+                    duplicate = int(unique[clash][0])
+                    break
+            if duplicate is None and self._sent_this_round:
+                for sender, receiver, sent_tag in self._sent_this_round:
+                    if sent_tag == tag and (
+                        sender * self.n + receiver == packed
+                    ).any():
+                        duplicate = sender * self.n + receiver
+                        break
+        if duplicate is not None:
+            key = (duplicate // self.n, duplicate % self.n, tag)
+            raise NetworkError(
+                "duplicate message %r in round %d" % (key, self.round_index)
+            )
+        self._batch_edges.setdefault(tag, []).append(unique)
+        # Normalize to a list of Python scalars: receivers validate
+        # payloads with exact type checks (np.int64 is not a symbol), so
+        # an ndarray's elements must not leak through as numpy scalars.
+        if isinstance(payloads, np.ndarray):
+            payloads = payloads.tolist()
+        else:
+            payloads = list(payloads)
+        batch = SymbolBatch(
+            tag=tag,
+            senders=senders,
+            receivers=receivers,
+            payloads=payloads,
+            bits=bits,
+            round_index=self.round_index,
+        )
+        # One accounting entry with the batch totals — byte-identical to
+        # `count` scalar sends of `bits` bits (Counter sums are equal).
+        self.meter.add(tag, bits * count, messages=count)
+        self._pending_batches.append(batch)
+
+    def _materialize_pending_batches(self) -> List[Message]:
+        messages: List[Message] = []
+        for batch in self._pending_batches:
+            messages.extend(batch.materialize())
+        return messages
+
+    def _end_round(self) -> None:
+        self._pending = []
+        self._pending_batches = []
+        self._sent_this_round = {}
+        self._batch_edges = {}
+        self.round_index += 1
+
+    def _journal_round(self, messages: List[Message]) -> None:
+        if self.journal is not None:
+            self.journal.extend(
+                sorted(messages, key=lambda m: (m.receiver, m.sender, m.tag))
+            )
+
     def deliver(self) -> Dict[int, List[Message]]:
         """End the round: deliver all buffered messages, keyed by receiver.
 
         Every processor appears in the result (possibly with an empty
         inbox), and each inbox is sorted by sender for determinism.
+        Batched sends are materialized into scalar messages here, so
+        legacy callers observe identical traffic whichever send path
+        produced it.
+        """
+        delivered = self._pending + self._materialize_pending_batches()
+        inboxes: Dict[int, List[Message]] = {pid: [] for pid in range(self.n)}
+        for message in delivered:
+            inboxes[message.receiver].append(message)
+        for inbox in inboxes.values():
+            inbox.sort(key=lambda m: (m.sender, m.tag))
+        self._journal_round(delivered)
+        self._end_round()
+        return inboxes
+
+    def deliver_arrays(self) -> RoundDelivery:
+        """End the round without materializing batches.
+
+        Scalar sends come back as per-receiver inboxes (exactly as
+        :meth:`deliver` reports them); batched sends come back as the
+        :class:`SymbolBatch` objects in send order.  When journalling is
+        on, batches *are* materialized — into the journal only — so the
+        trace stays identical to the scalar path's.
         """
         inboxes: Dict[int, List[Message]] = {pid: [] for pid in range(self.n)}
         for message in self._pending:
             inboxes[message.receiver].append(message)
         for inbox in inboxes.values():
             inbox.sort(key=lambda m: (m.sender, m.tag))
+        batches = list(self._pending_batches)
         if self.journal is not None:
-            self.journal.extend(
-                sorted(
-                    self._pending,
-                    key=lambda m: (m.receiver, m.sender, m.tag),
-                )
+            self._journal_round(
+                self._pending + self._materialize_pending_batches()
             )
-        self._pending = []
-        self._sent_this_round = {}
-        self.round_index += 1
-        return inboxes
+        delivery = RoundDelivery(
+            round_index=self.round_index, inboxes=inboxes, batches=batches
+        )
+        self._end_round()
+        return delivery

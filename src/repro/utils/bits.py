@@ -24,6 +24,18 @@ import numpy as np
 _VECTOR_THRESHOLD_BITS = 64
 
 
+def is_exact_int(value: object) -> bool:
+    """True iff ``value`` is exactly ``int`` — not ``bool``, not a numpy
+    integer.
+
+    The payload-validation predicate of every protocol engine: a
+    Byzantine payload of ``True`` passes ``isinstance(x, int)`` *and* the
+    ``0 <= x < limit`` range check, so it would masquerade as the symbol
+    ``1``; an exact type check keeps non-symbol payloads out.
+    """
+    return type(value) is int
+
+
 def _bit_array(value: int, width: int) -> np.ndarray:
     """``width`` bits of ``value`` as a uint8 array, MSB first."""
     if width == 0:

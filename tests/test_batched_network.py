@@ -1,0 +1,551 @@
+"""Batched network path: equivalence with the scalar path, plus the
+network-layer bugfix regressions (self-send, diff negative deltas, bool
+payload validation)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.broadcast_bit.ideal import AccountedIdealBroadcast
+from repro.coding.interleaved import InterleavedCode, make_symbol_code
+from repro.coding.reed_solomon import ReedSolomonCode
+from repro.core.broadcast import MultiValuedBroadcast
+from repro.core.config import ConsensusConfig
+from repro.core.consensus import MultiValuedConsensus
+from repro.graphs.diagnosis_graph import DiagnosisGraph
+from repro.network import (
+    BitMeter,
+    Message,
+    NetworkError,
+    SymbolBatch,
+    SyncNetwork,
+)
+from repro.processors.adversary import Adversary
+from repro.utils.bits import is_exact_int
+
+
+def scalar_edges(n, tag="x", bits=3):
+    """All off-diagonal edges with payload = sender * 10 + receiver."""
+    return [
+        (s, r, s * 10 + r, bits, tag)
+        for s in range(n)
+        for r in range(n)
+        if s != r
+    ]
+
+
+class TestSendManyEquivalence:
+    def test_deliver_materializes_batches_identically(self):
+        n = 5
+        edges = scalar_edges(n)
+        scalar = SyncNetwork(n)
+        for s, r, p, b, tag in edges:
+            scalar.send(s, r, p, bits=b, tag=tag)
+        batched = SyncNetwork(n)
+        batched.send_many(
+            [e[0] for e in edges],
+            [e[1] for e in edges],
+            [e[2] for e in edges],
+            bits=3,
+            tag="x",
+        )
+        assert scalar.deliver() == batched.deliver()
+
+    def test_meter_totals_byte_identical(self):
+        n = 6
+        edges = scalar_edges(n, bits=7)
+        scalar = SyncNetwork(n)
+        for s, r, p, b, tag in edges:
+            scalar.send(s, r, p, bits=b, tag=tag)
+        scalar.deliver()
+        batched = SyncNetwork(n)
+        batched.send_many(
+            [e[0] for e in edges],
+            [e[1] for e in edges],
+            [e[2] for e in edges],
+            bits=7,
+            tag="x",
+        )
+        batched.deliver()
+        assert (
+            scalar.meter.snapshot().bits_by_tag
+            == batched.meter.snapshot().bits_by_tag
+        )
+        assert (
+            scalar.meter.snapshot().messages_by_tag
+            == batched.meter.snapshot().messages_by_tag
+        )
+
+    def test_journal_order_identical(self):
+        n = 4
+        edges = scalar_edges(n, bits=1)
+        scalar = SyncNetwork(n, journal=True)
+        for s, r, p, b, tag in edges:
+            scalar.send(s, r, p, bits=b, tag=tag)
+        scalar.deliver()
+        batched = SyncNetwork(n, journal=True)
+        # Send in a scrambled order: journal order must not depend on it.
+        shuffled = list(reversed(edges))
+        batched.send_many(
+            [e[0] for e in shuffled],
+            [e[1] for e in shuffled],
+            [e[2] for e in shuffled],
+            bits=1,
+            tag="x",
+        )
+        batched.deliver_arrays()
+        assert scalar.journal == batched.journal
+
+    def test_deliver_arrays_returns_batches_and_scalar_inboxes(self):
+        net = SyncNetwork(4)
+        net.send_many([0, 0], [1, 2], [10, 20], bits=2, tag="batch")
+        net.send(3, 1, payload="s", bits=2, tag="scalar")
+        delivery = net.deliver_arrays()
+        assert delivery.round_index == 0
+        assert net.round_index == 1
+        assert len(delivery.batches) == 1
+        batch = delivery.batches[0]
+        assert isinstance(batch, SymbolBatch)
+        assert batch.tag == "batch" and batch.round_index == 0
+        assert batch.senders.tolist() == [0, 0]
+        assert batch.payloads == [10, 20]
+        assert [m.payload for m in delivery.inboxes[1]] == ["s"]
+
+    def test_mixed_round_deliver_merges_both_paths(self):
+        net = SyncNetwork(3)
+        net.send_many([0], [1], [5], bits=1, tag="a")
+        net.send(2, 1, payload=6, bits=1, tag="b")
+        inbox = net.deliver()[1]
+        assert [(m.sender, m.payload) for m in inbox] == [(0, 5), (2, 6)]
+
+    def test_numpy_payload_array_supported(self):
+        net = SyncNetwork(3)
+        net.send_many(
+            np.array([0, 1]), np.array([1, 2]), np.array([7, 8]), bits=4,
+            tag="x",
+        )
+        delivery = net.deliver_arrays()
+        assert list(delivery.batches[0].payloads) == [7, 8]
+        assert net.meter.total_bits == 8
+
+    def test_numpy_payloads_normalized_to_exact_ints(self):
+        # Receivers validate payloads with exact type checks; an ndarray
+        # payload must not leak np.int64 scalars into the inboxes.
+        net = SyncNetwork(3)
+        net.send_many(
+            np.array([0]), np.array([1]), np.array([7], dtype=np.int64),
+            bits=4, tag="x",
+        )
+        delivery = net.deliver_arrays()
+        assert all(
+            is_exact_int(p) for p in delivery.batches[0].payloads
+        )
+        net.send_many(
+            np.array([0]), np.array([1]), np.array([7], dtype=np.int64),
+            bits=4, tag="y",
+        )
+        inbox = net.deliver()[1]
+        assert all(is_exact_int(m.payload) for m in inbox)
+
+    def test_empty_batch_is_a_noop(self):
+        net = SyncNetwork(3)
+        net.send_many([], [], [], bits=4, tag="x")
+        assert net.meter.total_bits == 0
+        assert net.deliver_arrays().batches == []
+
+
+class TestSendManyValidation:
+    def test_duplicate_within_batch_rejected(self):
+        net = SyncNetwork(3)
+        with pytest.raises(NetworkError, match="duplicate"):
+            net.send_many([0, 0], [1, 1], [1, 2], bits=1, tag="x")
+
+    def test_duplicate_across_batches_rejected(self):
+        net = SyncNetwork(3)
+        net.send_many([0], [1], [1], bits=1, tag="x")
+        with pytest.raises(NetworkError, match="duplicate"):
+            net.send_many([0], [1], [2], bits=1, tag="x")
+
+    def test_duplicate_batch_then_scalar_rejected(self):
+        net = SyncNetwork(3)
+        net.send_many([0], [1], [1], bits=1, tag="x")
+        with pytest.raises(NetworkError, match="duplicate"):
+            net.send(0, 1, payload=2, bits=1, tag="x")
+
+    def test_duplicate_scalar_then_batch_rejected(self):
+        net = SyncNetwork(3)
+        net.send(0, 1, payload=1, bits=1, tag="x")
+        with pytest.raises(NetworkError, match="duplicate"):
+            net.send_many([0], [1], [2], bits=1, tag="x")
+
+    def test_distinct_tags_and_next_round_allowed(self):
+        net = SyncNetwork(3)
+        net.send_many([0], [1], [1], bits=1, tag="x")
+        net.send_many([0], [1], [2], bits=1, tag="y")
+        net.deliver()
+        net.send_many([0], [1], [3], bits=1, tag="x")
+        assert len(net.deliver()[1]) == 1
+
+    def test_bad_pid_rejected(self):
+        net = SyncNetwork(3)
+        with pytest.raises(NetworkError, match="out of range"):
+            net.send_many([0], [3], [1], bits=1, tag="x")
+        with pytest.raises(NetworkError, match="out of range"):
+            net.send_many([-1], [0], [1], bits=1, tag="x")
+
+    def test_length_mismatch_rejected(self):
+        net = SyncNetwork(3)
+        with pytest.raises(NetworkError):
+            net.send_many([0, 1], [1], [1, 2], bits=1, tag="x")
+        with pytest.raises(NetworkError, match="payload count"):
+            net.send_many([0, 1], [1, 2], [1], bits=1, tag="x")
+
+
+class TestSelfSendRegression:
+    """Satellite: self-sends must be a NetworkError naming the round, not
+    a bare ValueError escaping from Message.__post_init__."""
+
+    def test_scalar_self_send_is_network_error_naming_round(self):
+        net = SyncNetwork(3)
+        net.deliver()
+        net.deliver()
+        with pytest.raises(NetworkError, match="round 2"):
+            net.send(1, 1, payload=0, bits=1, tag="x")
+
+    def test_batched_self_send_is_network_error_naming_round(self):
+        net = SyncNetwork(3)
+        net.deliver()
+        with pytest.raises(NetworkError, match="round 1"):
+            net.send_many([0, 1], [1, 1], [1, 2], bits=1, tag="x")
+
+    def test_self_send_rejected_before_any_buffering(self):
+        net = SyncNetwork(3)
+        with pytest.raises(NetworkError):
+            net.send(2, 2, payload=0, bits=1, tag="x")
+        assert net.meter.total_bits == 0
+        assert net.deliver() == {0: [], 1: [], 2: []}
+
+
+class TestMeterDiffRegression:
+    """Satellite: diff must report tags present only in ``earlier``."""
+
+    def test_diff_across_reset_reports_negative_deltas(self):
+        meter = BitMeter()
+        meter.add("a", 5)
+        meter.add("b", 3)
+        before = meter.snapshot()
+        meter.reset()
+        meter.add("a", 2)
+        delta = meter.snapshot().diff(before)
+        assert delta.bits_by_tag == {"a": -3, "b": -3}
+        # "a" has one message before and after (unchanged: dropped);
+        # "b"'s message disappeared entirely.
+        assert delta.messages_by_tag == {"b": -1}
+        assert delta.total_bits == -6
+
+    def test_diff_forward_still_reports_growth_only(self):
+        meter = BitMeter()
+        meter.add("a", 5)
+        before = meter.snapshot()
+        meter.add("a", 3)
+        meter.add("b", 2)
+        delta = meter.snapshot().diff(before)
+        assert delta.bits_by_tag == {"a": 3, "b": 2}
+
+    def test_diff_drops_unchanged_tags(self):
+        meter = BitMeter()
+        meter.add("same", 4)
+        before = meter.snapshot()
+        delta = meter.snapshot().diff(before)
+        assert delta.bits_by_tag == {}
+        assert delta.messages_by_tag == {}
+
+
+class _BoolPayloadAdversary(Adversary):
+    """Sends the Python bool ``True`` instead of its matching symbol."""
+
+    def matching_symbol(self, pid, recipient, honest_symbol, generation, view):
+        return True
+
+
+class _InvalidIntAdversary(Adversary):
+    """Sends an out-of-range int instead of its matching symbol."""
+
+    def __init__(self, faulty, limit):
+        super().__init__(faulty)
+        self._limit = limit
+
+    def matching_symbol(self, pid, recipient, honest_symbol, generation, view):
+        return self._limit
+
+
+class TestBoolPayloadRegression:
+    """Satellite: ``True`` is not the symbol 1 — exact int checks only."""
+
+    def test_is_exact_int(self):
+        assert is_exact_int(1)
+        assert is_exact_int(0)
+        assert not is_exact_int(True)
+        assert not is_exact_int(False)
+        assert not is_exact_int(np.int64(1))
+        assert not is_exact_int(1.0)
+        assert not is_exact_int("1")
+
+    def test_generation_valid_symbol_rejects_bool(self):
+        config = ConsensusConfig.create(n=4, l_bits=64)
+        consensus = MultiValuedConsensus(config)
+        from repro.core.generation import GenerationProtocol
+
+        protocol = GenerationProtocol(
+            config=config,
+            code=consensus.code,
+            network=consensus.network,
+            graph=consensus.graph,
+            backend=consensus.backend,
+            adversary=consensus.adversary,
+            generation=0,
+            view_provider=consensus._make_view,
+        )
+        assert protocol._valid_symbol(True) is None
+        assert protocol._valid_symbol(False) is None
+        assert protocol._valid_symbol(1) == 1
+
+    def test_bool_payload_treated_exactly_like_invalid_symbol(self):
+        # A Byzantine True payload must take the same code path as any
+        # other non-symbol payload: same bits on the wire (payload content
+        # never changes accounted size), same decisions, same diagnosis.
+        config = ConsensusConfig.create(n=7, l_bits=256)
+        value = random.Random(3).getrandbits(256)
+        runs = {}
+        for name, adversary in (
+            ("bool", _BoolPayloadAdversary([2])),
+            ("invalid_int", _InvalidIntAdversary([2], 1 << config.symbol_bits)),
+        ):
+            result = MultiValuedConsensus(config, adversary=adversary).run(
+                [value] * 7
+            )
+            assert result.error_free
+            runs[name] = result
+        assert runs["bool"].decisions == runs["invalid_int"].decisions
+        assert (
+            runs["bool"].meter.bits_by_tag
+            == runs["invalid_int"].meter.bits_by_tag
+        )
+        assert (
+            runs["bool"].diagnosis_count == runs["invalid_int"].diagnosis_count
+        )
+
+    def test_mv_broadcast_bool_relay_payload_is_invalid(self):
+        class BoolRelayAdversary(Adversary):
+            def forwarded_symbol(self, pid, recipient, honest, g, view):
+                return True
+
+        broadcast = MultiValuedBroadcast(
+            n=7, l_bits=128, adversary=BoolRelayAdversary([3])
+        )
+        result = broadcast.run(source=0, value=0x5A5A)
+        # Safety must hold, and the bogus payloads must be detected (the
+        # receivers treat them as missing symbols, never as the symbol 1).
+        assert result.consistent
+        assert result.value == 0x5A5A
+
+
+class TestDiagnosisGraphMask:
+    def test_mask_reflects_removals_live(self):
+        graph = DiagnosisGraph(5)
+        mask = graph.trust_mask()
+        assert mask[0, 1] and mask[1, 0]
+        graph.remove_edge(0, 1)
+        assert not mask[0, 1] and not mask[1, 0]
+
+    def test_mask_read_only(self):
+        graph = DiagnosisGraph(4)
+        mask = graph.trust_mask()
+        with pytest.raises(ValueError):
+            mask[0, 1] = False
+
+    def test_mask_matches_trusts(self):
+        graph = DiagnosisGraph(6)
+        graph.remove_edge(0, 3)
+        graph.isolate(5)
+        mask = graph.trust_mask()
+        for i in range(6):
+            for j in range(6):
+                if i != j:
+                    assert bool(mask[i, j]) == graph.trusts(i, j)
+
+    def test_is_complete(self):
+        graph = DiagnosisGraph(4)
+        assert graph.is_complete()
+        graph.remove_edge(1, 2)
+        assert not graph.is_complete()
+
+    def test_copy_is_independent(self):
+        graph = DiagnosisGraph(4)
+        dup = graph.copy()
+        graph.remove_edge(0, 1)
+        assert dup.trusts(0, 1)
+        assert not graph.trusts(0, 1)
+
+    def test_find_trusting_set_sees_removals(self):
+        # The memoised clique-search view must invalidate on removal.
+        graph = DiagnosisGraph(5)
+        assert graph.find_trusting_set(3) == [0, 1, 2]
+        graph.remove_edge(0, 1)
+        assert graph.find_trusting_set(3) == [0, 2, 3]
+        graph.remove_edge(0, 2)
+        graph.remove_edge(0, 3)
+        graph.remove_edge(0, 4)
+        assert graph.find_trusting_set(3) == [1, 2, 3]
+
+
+class TestEncodeGenerations:
+    def test_matches_scalar_encode(self):
+        rng = random.Random(11)
+        for code in (
+            ReedSolomonCode(7, 3, 4),
+            InterleavedCode(7, 3, 4, 5),
+            make_symbol_code(7, 3, 507),
+        ):
+            parts = [
+                [rng.randrange(code.symbol_limit) for _ in range(code.k)]
+                for _ in range(9)
+            ]
+            assert code.encode_generations(parts) == [
+                code.encode(list(part)) for part in parts
+            ]
+
+    def test_empty(self):
+        assert ReedSolomonCode(7, 3, 4).encode_generations([]) == []
+
+    def test_bad_shape_rejected(self):
+        code = ReedSolomonCode(7, 3, 4)
+        with pytest.raises(ValueError):
+            code.encode_generations([[1, 2]])
+        with pytest.raises(ValueError):
+            InterleavedCode(7, 3, 4, 2).encode_generations([[1, 2]])
+
+
+def _assert_runs_equivalent(config, inputs, adversary_factory, label):
+    runs = {}
+    for batch in (True, False):
+        consensus = MultiValuedConsensus(
+            config,
+            adversary=adversary_factory(),
+            batch_generations=batch,
+        )
+        runs[batch] = (consensus, consensus.run(inputs))
+    batched_consensus, batched = runs[True]
+    scalar_consensus, scalar = runs[False]
+    assert batched.decisions == scalar.decisions, label
+    assert batched.meter.bits_by_tag == scalar.meter.bits_by_tag, label
+    assert (
+        batched.meter.messages_by_tag == scalar.meter.messages_by_tag
+    ), label
+    assert batched.default_used == scalar.default_used, label
+    assert batched.diagnosis_count == scalar.diagnosis_count, label
+    assert len(batched.generation_results) == len(
+        scalar.generation_results
+    ), label
+    for fast, slow in zip(
+        batched.generation_results, scalar.generation_results
+    ):
+        assert fast.generation == slow.generation
+        assert fast.outcome is slow.outcome, (label, fast.generation)
+        assert fast.decisions == slow.decisions, (label, fast.generation)
+        assert fast.p_match == slow.p_match, (label, fast.generation)
+        assert fast.p_decide == slow.p_decide, (label, fast.generation)
+        assert fast.removed_edges == slow.removed_edges
+        assert fast.isolated == slow.isolated
+        assert fast.detectors == slow.detectors
+    assert (
+        batched_consensus.network.round_index
+        == scalar_consensus.network.round_index
+    ), label
+    assert (
+        batched_consensus.backend.stats.instances
+        == scalar_consensus.backend.stats.instances
+    ), label
+    assert (
+        batched_consensus.backend.stats.bits_charged
+        == scalar_consensus.backend.stats.bits_charged
+    ), label
+
+
+class TestCrossGenerationBatchingEquivalence:
+    """The tentpole's contract: the fast path is observationally identical
+    to the per-generation protocol — decisions, per-generation records,
+    byte-identical metering, round clock and backend instance counts."""
+
+    def test_all_equal_inputs(self):
+        rng = random.Random(21)
+        for n in (4, 7, 10):
+            config = ConsensusConfig.create(n=n, l_bits=1024)
+            value = rng.getrandbits(1024)
+            _assert_runs_equivalent(
+                config, [value] * n, lambda: None, "equal n=%d" % n
+            )
+
+    def test_differing_inputs_fall_back_per_generation(self):
+        rng = random.Random(22)
+        config = ConsensusConfig.create(n=7, l_bits=512)
+        inputs = [rng.getrandbits(512) for _ in range(7)]
+        _assert_runs_equivalent(config, inputs, lambda: None, "differing")
+
+    def test_single_generation_mismatch_replays_only_that_generation(self):
+        rng = random.Random(23)
+        config = ConsensusConfig.create(n=7, l_bits=1024)
+        base = rng.getrandbits(1024)
+        inputs = [base] * 6 + [base ^ 1]  # last generation differs only
+        _assert_runs_equivalent(config, inputs, lambda: None, "one-bit")
+
+    def test_t_zero(self):
+        config = ConsensusConfig.create(n=4, t=0, l_bits=256)
+        _assert_runs_equivalent(
+            config, [0xDEADBEEF] * 4, lambda: None, "t=0"
+        )
+
+    def test_byzantine_adversary_disables_fast_path_consistently(self):
+        config = ConsensusConfig.create(n=7, l_bits=256)
+        value = random.Random(24).getrandbits(256)
+        _assert_runs_equivalent(
+            config,
+            [value] * 7,
+            lambda: _BoolPayloadAdversary([1]),
+            "byzantine",
+        )
+
+    def test_phase_king_backend(self):
+        # A non-ideal error-free backend: the fast path must meter its
+        # real per-bit broadcasts identically to the scalar path.
+        config = ConsensusConfig.create(
+            n=4, l_bits=64, backend="phase_king"
+        )
+        _assert_runs_equivalent(
+            config, [0x1234] * 4, lambda: None, "phase_king"
+        )
+
+    def test_fast_path_actually_engaged(self):
+        # Guard against silently losing the optimisation: the batched run
+        # must not instantiate any per-generation protocol objects for an
+        # all-equal failure-free run.
+        config = ConsensusConfig.create(n=7, l_bits=512)
+        consensus = MultiValuedConsensus(config)
+        calls = []
+        from repro.core import consensus as consensus_module
+
+        original = consensus_module.GenerationProtocol
+
+        class Spy(original):
+            def __init__(self, *args, **kwargs):
+                calls.append(1)
+                super().__init__(*args, **kwargs)
+
+        consensus_module.GenerationProtocol = Spy
+        try:
+            result = consensus.run([7] * 7)
+        finally:
+            consensus_module.GenerationProtocol = original
+        assert result.error_free
+        assert calls == []
