@@ -8,14 +8,24 @@ grid point, the per-point speedup over the recorded pre-vectorization
 seed baseline, and an assertion-friendly copy of the metered bit totals
 (the optimisations must never change a single bit on the wire).
 
+``--faults`` adds the adversarial grid: every attack from
+``repro.analysis.sweeps.ATTACKS`` over fault-injection (n, L) points,
+each run on the vectorized adversarial path *and* the forced-scalar
+reference engine.  The two runs must agree byte-for-byte (decisions,
+bits and messages by tag) and match the expected bit-total table — the
+adversarial analogue of the failure-free ``--check`` discipline — and
+the vectorized/scalar wall-clock ratio is recorded as the adversarial
+speedup column.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_wallclock.py            # full grid
-    PYTHONPATH=src python benchmarks/bench_wallclock.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_wallclock.py                # full grid
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --faults       # + adversarial grid
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --quick --check --faults  # CI gate
 
-The ``--quick`` grid keeps L small so the smoke run finishes in well
-under a second; CI uses it to catch order-of-magnitude regressions at PR
-time without burning minutes.
+The ``--quick`` grid keeps L small so the smoke run finishes in seconds;
+CI uses it to catch order-of-magnitude regressions and metering drift at
+PR time without burning minutes.
 """
 
 from __future__ import annotations
@@ -27,6 +37,7 @@ import random
 import time
 from pathlib import Path
 
+from repro.analysis.sweeps import ATTACKS, make_attack
 from repro.core.config import ConsensusConfig
 from repro.core.consensus import MultiValuedConsensus
 
@@ -76,6 +87,45 @@ FULL_GRID = [
 ]
 QUICK_GRID = [(4, 1 << 12), (7, 1 << 13), (31, 1 << 12)]
 
+#: Fault-injection grids: every ATTACKS entry at each (n, L) point, run
+#: on both the vectorized and the forced-scalar adversarial path.  The
+#: scalar engine made n = 31/63 impractical; the quick grid keeps the
+#: n = 7 acceptance point (one Byzantine generation per attack type)
+#: plus an n = 31 point so CI exercises the large-n path on every PR.
+FULL_FAULT_GRID = [(7, 1 << 16), (31, 1 << 12), (63, 1 << 12)]
+QUICK_FAULT_GRID = [(7, 1 << 12), (31, 1 << 12)]
+
+#: Deterministic (machine-independent) adversarial bit totals per
+#: (n, L, attack) — asserted on every --faults run, against both engine
+#: paths, so adversarial metering drift fails the build exactly like
+#: failure-free drift does.
+EXPECTED_FAULT_BITS = {
+    (7, 4096, "corrupt"): 215042,
+    (7, 4096, "crash"): 175522,
+    (7, 4096, "equivocate"): 215042,
+    (7, 4096, "false_detect"): 146882,
+    (7, 4096, "slow_bleed"): 283922,
+    (7, 4096, "trust_poison"): 146882,
+    (7, 65536, "corrupt"): 1496454,
+    (7, 65536, "crash"): 1184864,
+    (7, 65536, "equivocate"): 1496454,
+    (7, 65536, "false_detect"): 894842,
+    (7, 65536, "slow_bleed"): 1642824,
+    (7, 65536, "trust_poison"): 894842,
+    (31, 4096, "corrupt"): 59905702,
+    (31, 4096, "crash"): 58055680,
+    (31, 4096, "equivocate"): 59905702,
+    (31, 4096, "false_detect"): 41246306,
+    (31, 4096, "slow_bleed"): 113697088,
+    (31, 4096, "trust_poison"): 41246306,
+    (63, 4096, "corrupt"): 959192418,
+    (63, 4096, "crash"): 935417520,
+    (63, 4096, "equivocate"): 959192418,
+    (63, 4096, "false_detect"): 668772846,
+    (63, 4096, "slow_bleed"): 1642196880,
+    (63, 4096, "trust_poison"): 668772846,
+}
+
 #: Deterministic input seed: every run times the identical workload.
 INPUT_SEED = 12345
 
@@ -119,6 +169,67 @@ def run_point(n: int, l_bits: int) -> dict:
     return record
 
 
+def run_fault_point(n: int, l_bits: int, attack: str) -> dict:
+    """One fault-injection point: vectorized vs forced-scalar.
+
+    Both runs must produce byte-identical metering (bits *and* messages
+    by tag) and identical decisions; the vectorized/scalar wall-clock
+    ratio is the adversarial speedup this benchmark tracks.
+    """
+    value = random.Random(INPUT_SEED).getrandbits(l_bits)
+    runs = {}
+    for vectorized in (True, False):
+        config = ConsensusConfig.create(n=n, l_bits=l_bits)
+        consensus = MultiValuedConsensus(
+            config,
+            adversary=make_attack(attack, n, config.t, l_bits),
+            vectorized=vectorized,
+        )
+        start = time.perf_counter()
+        result = consensus.run([value] * n)
+        elapsed = time.perf_counter() - start
+        if not (result.consistent and result.valid):
+            raise AssertionError(
+                "attack %s broke consensus at (n=%d, L=%d)"
+                % (attack, n, l_bits)
+            )
+        runs[vectorized] = (elapsed, result, config)
+    elapsed, result, config = runs[True]
+    scalar_elapsed, scalar_result, _ = runs[False]
+    if result.meter.bits_by_tag != scalar_result.meter.bits_by_tag or (
+        result.meter.messages_by_tag != scalar_result.meter.messages_by_tag
+    ):
+        raise AssertionError(
+            "vectorized adversarial path metered differently from the "
+            "scalar path at (n=%d, L=%d, %s)" % (n, l_bits, attack)
+        )
+    if result.decisions != scalar_result.decisions:
+        raise AssertionError(
+            "vectorized adversarial path decided differently from the "
+            "scalar path at (n=%d, L=%d, %s)" % (n, l_bits, attack)
+        )
+    expected = EXPECTED_FAULT_BITS.get((n, l_bits, attack))
+    if expected is not None and result.meter.total_bits != expected:
+        raise AssertionError(
+            "adversarial bit total changed at (n=%d, L=%d, %s): %d != "
+            "expected %d — the engine altered on-wire behaviour"
+            % (n, l_bits, attack, result.meter.total_bits, expected)
+        )
+    return {
+        "n": n,
+        "t": config.t,
+        "l_bits": l_bits,
+        "attack": attack,
+        "generations": config.generations,
+        "diagnosis_count": result.diagnosis_count,
+        "seconds": round(elapsed, 4),
+        "scalar_seconds": round(scalar_elapsed, 4),
+        "speedup_vs_scalar": round(scalar_elapsed / elapsed, 2)
+        if elapsed else None,
+        "total_bits": result.meter.total_bits,
+    }
+
+
 def check_tracked_report(path: Path) -> None:
     """Assert the tracked full-grid report's bit totals still match
     :data:`EXPECTED_BITS` — metering drift (an edited expectation table, a
@@ -145,9 +256,25 @@ def check_tracked_report(path: Path) -> None:
         checked += 1
     if not checked:
         raise AssertionError("tracked report %s has no results" % path)
+    fault_checked = 0
+    for record in tracked.get("fault_results", []):
+        key = (record["n"], record["l_bits"], record["attack"])
+        expected = EXPECTED_FAULT_BITS.get(key)
+        if expected is None:
+            raise AssertionError(
+                "tracked fault point (n=%d, L=%d, %s) has no expected "
+                "bit total — add it to EXPECTED_FAULT_BITS" % key
+            )
+        if record["total_bits"] != expected:
+            raise AssertionError(
+                "tracked fault record disagrees at (n=%d, L=%d, %s): "
+                "%d != %d"
+                % (*key, record["total_bits"], expected)
+            )
+        fault_checked += 1
     print(
-        "checked %d tracked grid points against expected bit totals"
-        % checked
+        "checked %d tracked grid points (+%d adversarial) against "
+        "expected bit totals" % (checked, fault_checked)
     )
 
 
@@ -172,6 +299,13 @@ def main() -> None:
         help="also assert the tracked BENCH_wallclock.json bit totals "
         "against the expected table (CI uses this so metering drift "
         "fails the build)",
+    )
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="also run the fault-injection grid: every registered attack "
+        "per (n, L) point, vectorized vs forced-scalar, asserting "
+        "byte-identical metering and the expected adversarial bit totals",
     )
     args = parser.parse_args()
     if args.output is None:
@@ -203,6 +337,28 @@ def main() -> None:
             )
         )
 
+    fault_results = []
+    if args.faults:
+        fault_grid = QUICK_FAULT_GRID if args.quick else FULL_FAULT_GRID
+        for n, l_bits in fault_grid:
+            for attack in sorted(ATTACKS):
+                record = run_fault_point(n, l_bits, attack)
+                fault_results.append(record)
+                print(
+                    "n=%-3d L=2^%-3d %-13s %8.4fs (scalar %8.4fs, "
+                    "%.1fx)  %10d bits  diag=%d"
+                    % (
+                        n,
+                        l_bits.bit_length() - 1,
+                        attack,
+                        record["seconds"],
+                        record["scalar_seconds"],
+                        record["speedup_vs_scalar"],
+                        record["total_bits"],
+                        record["diagnosis_count"],
+                    )
+                )
+
     report = {
         "benchmark": "bench_wallclock",
         "mode": "quick" if args.quick else "full",
@@ -219,6 +375,8 @@ def main() -> None:
         ],
         "results": results,
     }
+    if fault_results:
+        report["fault_results"] = fault_results
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print("wrote %s" % args.output)
 

@@ -18,7 +18,6 @@ Equation (2) plugs in the optimal ``D``; Equation (3) sets ``B = Θ(n²)``.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 from repro.coding.reed_solomon import min_symbol_bits
 

@@ -3,12 +3,22 @@
 Each sweep runs the real protocol (never just the formulas), collects
 exact bit counts, and returns plain dataclass rows, so callers can print,
 plot or assert over them without re-running simulations.
+
+Fault-injection sweeps (:func:`sweep_faults`) run the same grids under a
+named attack from :data:`ATTACKS` — a registry of deterministic adversary
+factories sized to ``(n, t, l_bits)`` so the same attack name scales from
+``n = 4`` to the large-n regime (31/63) the vectorized adversarial path
+makes practical.  Faulty pids are chosen so the attack actually bites:
+lexicographic ``P_match`` prefers low pids, so attacks that must operate
+*inside* ``P_match`` (symbol corruption, staged equivocation, the
+slow-bleed planner) control low pids, while attacks that operate from
+outside (crash, false detection, trust poisoning) control high pids.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.complexity import (
     checking_stage_bits,
@@ -19,6 +29,14 @@ from repro.broadcast_bit.ideal import default_b
 from repro.core.config import ConsensusConfig
 from repro.core.consensus import MultiValuedConsensus
 from repro.processors.adversary import Adversary
+from repro.processors.byzantine import (
+    CrashAdversary,
+    FalseDetectionAdversary,
+    SlowBleedAdversary,
+    StagedEquivocationAdversary,
+    SymbolCorruptionAdversary,
+    TrustPoisoningAdversary,
+)
 
 
 @dataclass(frozen=True)
@@ -97,4 +115,123 @@ def sweep_n(
     return [
         _run_point(n, (n - 1) // 3, l_bits, adversary_factory)
         for n in n_values
+    ]
+
+
+# -- fault-injection sweeps ---------------------------------------------------
+
+#: Deterministic adversary factories keyed by attack name; each takes
+#: ``(n, t, l_bits)`` and controls at most ``t`` processors.
+ATTACKS: Dict[str, Callable[[int, int, int], Adversary]] = {
+    # Fail-stop: every faulty processor falls silent from generation 0.
+    "crash": lambda n, t, l_bits: CrashAdversary(list(range(n - t, n))),
+    # One faulty P_match member corrupts the symbol sent to the last
+    # honest processor, which detects and triggers a diagnosis.
+    "corrupt": lambda n, t, l_bits: SymbolCorruptionAdversary(
+        [0], victims={0: [n - 1]}
+    ),
+    # Outsiders cry Detected every generation; line 3(f) isolates them.
+    "false_detect": lambda n, t, l_bits: FalseDetectionAdversary(
+        list(range(n - t, n))
+    ),
+    # Faulty processors accuse every honest P_match member in their
+    # Trust vectors until the over-degree rule isolates them.
+    "trust_poison": lambda n, t, l_bits: TrustPoisoningAdversary(
+        list(range(n - t, n))
+    ),
+    # Self-consistent equivocation: pid 0 shows the last processor a
+    # genuine codeword of a different value.  Zero differs from the
+    # sweeps' all-ones input in every generation (all-ones would be a
+    # silent no-op there: equivocating to the value actually held).
+    "equivocate": lambda n, t, l_bits: StagedEquivocationAdversary(
+        [0], deceived=[n - 1], alt_value=0
+    ),
+    # Worst-case diagnosis count: one bad edge spent per generation.
+    "slow_bleed": lambda n, t, l_bits: SlowBleedAdversary(
+        list(range(t))
+    ),
+}
+
+
+def make_attack(name: str, n: int, t: int, l_bits: int) -> Adversary:
+    """Instantiate the named attack for an ``(n, t)`` deployment."""
+    try:
+        factory = ATTACKS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown attack %r (choose from %s)" % (name, sorted(ATTACKS))
+        )
+    if t < 1:
+        raise ValueError("attack %r needs t >= 1, got t=%d" % (name, t))
+    return factory(n, t, l_bits)
+
+
+@dataclass(frozen=True)
+class FaultSweepPoint:
+    """One measured point of a fault-injection sweep."""
+
+    n: int
+    t: int
+    l_bits: int
+    attack: str
+    total_bits: int
+    generations: int
+    diagnosis_count: int
+    default_used: bool
+
+    @property
+    def diagnosis_bound(self) -> int:
+        """Theorem 1's ceiling on diagnosis stages: ``t(t + 1)``."""
+        return self.t * (self.t + 1)
+
+
+def _run_fault_point(
+    n: int, t: int, l_bits: int, attack: str, vectorized: bool
+) -> FaultSweepPoint:
+    config = ConsensusConfig.create(n=n, t=t, l_bits=l_bits)
+    adversary = make_attack(attack, n, t, l_bits)
+    result = MultiValuedConsensus(
+        config, adversary=adversary, vectorized=vectorized
+    ).run([(1 << l_bits) - 1] * n)
+    if not (result.consistent and result.valid):
+        raise AssertionError(
+            "fault point n=%d t=%d L=%d attack=%s broke consensus"
+            % (n, t, l_bits, attack)
+        )
+    if result.diagnosis_count > t * (t + 1):
+        raise AssertionError(
+            "attack %s at n=%d forced %d diagnoses, above the t(t+1)=%d "
+            "bound" % (attack, n, result.diagnosis_count, t * (t + 1))
+        )
+    return FaultSweepPoint(
+        n=n,
+        t=t,
+        l_bits=l_bits,
+        attack=attack,
+        total_bits=result.total_bits,
+        generations=config.generations,
+        diagnosis_count=result.diagnosis_count,
+        default_used=result.default_used,
+    )
+
+
+def sweep_faults(
+    n_values: Sequence[int],
+    l_bits: int,
+    attacks: Optional[Sequence[str]] = None,
+    vectorized: bool = True,
+) -> List[FaultSweepPoint]:
+    """Fault-injection grid: every ``(n, attack)`` pair, exact bit counts.
+
+    Runs the real protocol under each named attack (t = ⌊(n-1)/3⌋) and
+    asserts consistency, validity and the ``t(t+1)`` diagnosis bound.
+    With the vectorized adversarial path this is practical at
+    ``n = 31/63``; ``vectorized=False`` forces the scalar reference
+    engine (the benchmarks' byte-identity baseline).
+    """
+    names = list(attacks) if attacks is not None else sorted(ATTACKS)
+    return [
+        _run_fault_point(n, (n - 1) // 3, l_bits, attack, vectorized)
+        for n in n_values
+        for attack in names
     ]

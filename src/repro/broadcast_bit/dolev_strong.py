@@ -99,12 +99,8 @@ class DolevStrongBroadcast(BroadcastBackend):
         # chains pid can relay next round (newly extracted values).
         outbox: Dict[int, List[Chain]] = {pid: [] for pid in active}
 
-        # Round 0: the source signs and sends its bit.
-        source_bits = {bit}
-        if source in faulty:
-            # A faulty source may equivocate: sign both values and
-            # partition the recipients.
-            source_bits = {0, 1}
+        # Round 0: the source signs and sends its bit (a faulty source
+        # may equivocate per recipient via the bsb_source_bit hook).
         sent_bits = 0
         for recipient in active:
             if recipient == source:

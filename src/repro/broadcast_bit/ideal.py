@@ -62,30 +62,38 @@ class AccountedIdealBroadcast(BroadcastBackend):
 
     def broadcast_bits(self, source, bits, tag, ignored=frozenset()):
         """Batched fast path: semantics identical to the base class
-        (one instance per bit), with one meter entry per call."""
+        (one instance per bit), with one meter entry per call.
+
+        The returned per-pid lists are one shared row (agreement means
+        every processor receives the same bits); callers must treat them
+        as read-only, the same contract as :meth:`broadcast_bits_many`.
+        """
         if source in ignored:
-            return {
-                pid: [0] * len(bits) for pid in range(self.n)
-            }
-        outcomes = []
+            return dict.fromkeys(range(self.n), [0] * len(bits))
         for bit in bits:
             if bit not in (0, 1):
                 raise ValueError("bit must be 0 or 1, got %r" % (bit,))
-            instance = self._next_instance()
-            if self.adversary.controls(source):
+        if self.adversary.controls(source):
+            outcomes = []
+            view = self._view()  # one snapshot for the call's instances
+            for bit in bits:
+                instance = self._next_instance()
                 value = self.adversary.ideal_broadcast_bit(
-                    source, bit, instance, self._view()
+                    source, bit, instance, view
                 )
                 outcomes.append(1 if value else 0)
-            else:
-                outcomes.append(bit)
+        else:
+            # Honest source: the outcome is the input; one bulk instance
+            # bump replaces the per-bit counter walk.
+            self.stats.instances += len(bits)
+            outcomes = list(bits)
         self.stats.bits_charged += self._b * len(bits)
         self.meter.add(
             tag,
             self._b * len(bits),
             messages=self.n * (self.n - 1) * len(bits),
         )
-        return {pid: list(outcomes) for pid in range(self.n)}
+        return dict.fromkeys(range(self.n), outcomes)
 
     def broadcast_bits_many(self, rows, tag, ignored=frozenset()):
         """Bulk fast path: when every source is honest and live, outcomes
@@ -114,7 +122,7 @@ class AccountedIdealBroadcast(BroadcastBackend):
                 raise ValueError("source %d out of range" % source)
             total += len(bits)
             row = list(bits)
-            outcomes.append({pid: row for pid in range(self.n)})
+            outcomes.append(dict.fromkeys(range(self.n), row))
         self.stats.instances += total
         self.stats.bits_charged += self._b * total
         self.meter.add(

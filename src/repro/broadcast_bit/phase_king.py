@@ -32,7 +32,7 @@ accounted substitution and benchmark E10 for the measured gap.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, List, Optional
+from typing import Dict, FrozenSet, List, Optional
 
 from repro.broadcast_bit.interface import BroadcastBackend
 from repro.network.metrics import BitMeter

@@ -14,7 +14,7 @@ L-bit value per fault-free processor.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -145,6 +145,7 @@ class MultiValuedConsensus:
         adversary: Optional[Adversary] = None,
         meter: Optional[BitMeter] = None,
         batch_generations: bool = True,
+        vectorized: bool = True,
     ):
         self.config = config
         #: When True (the default), failure-free generations run through
@@ -152,6 +153,13 @@ class MultiValuedConsensus:
         #: scalar per-generation protocol everywhere (used by the
         #: equivalence tests, and as an escape hatch).
         self.batch_generations = batch_generations
+        #: When True (the default), per-generation protocols run their
+        #: vectorized adversarial path (array-backed views; requires an
+        #: error-free backend, falling back to scalar otherwise); False
+        #: forces the scalar per-edge reference implementation — the
+        #: baseline of the adversarial equivalence suite and of the
+        #: fault-injection benchmarks' `--check` discipline.
+        self.vectorized = vectorized
         self.adversary = adversary if adversary is not None else Adversary()
         if (
             not config.allow_t_ge_n3
@@ -301,6 +309,7 @@ class MultiValuedConsensus:
                     adversary=self.adversary,
                     generation=g,
                     view_provider=self._make_view,
+                    vectorized=self.vectorized,
                 )
                 result = protocol.run(
                     {pid: parts_by_pid[pid][g] for pid in range(config.n)},

@@ -16,6 +16,24 @@ inconsistent :class:`~repro.core.result.GenerationResult` — exactly the
 error mode the paper describes for that variant.  Common-knowledge
 bookkeeping (who broadcasts next, the shared diagnosis graph) follows the
 lowest-pid fault-free processor's view, the *reference view*.
+
+Two observationally identical executions coexist:
+
+* the **scalar** path — per-edge dicts and per-pid view assembly, the
+  reference implementation kept for the probabilistic backend (where
+  honest views can genuinely diverge) and for equivalence tests;
+* the **vectorized** path (the default under an error-free backend) —
+  the symbol exchange lands in one ``(n, n)`` numpy view assembled from
+  :class:`~repro.network.message.SymbolBatch` arrays, M vectors, Detected
+  flags and Trust vectors are boolean matrices, and broadcast views are
+  built once for the reference processor (the error-free broadcast
+  contract makes every fault-free view equal) plus individually for
+  faulty processors, whose adversary hooks receive their own view.
+
+Every adversary hook fires the same number of times, in the same order,
+with the same arguments on both paths — per-faulty-pid overrides are
+applied onto the batched arrays — so stateful adversaries (seeded RNGs,
+attack planners) behave identically and metering is byte-identical.
 """
 
 from __future__ import annotations
@@ -28,11 +46,15 @@ from repro.broadcast_bit.interface import BroadcastBackend
 from repro.coding.reed_solomon import DecodingError, ReedSolomonCode
 from repro.core.config import ConsensusConfig, ProtocolInvariantError
 from repro.core.result import GenerationOutcome, GenerationResult
-from repro.graphs.cliques import find_clique
+from repro.graphs.cliques import find_clique, find_clique_matrix
 from repro.graphs.diagnosis_graph import DiagnosisGraph
-from repro.network.simulator import SyncNetwork
+from repro.network.simulator import RoundDelivery, SyncNetwork
 from repro.processors.adversary import Adversary, GlobalView
-from repro.utils.bits import is_exact_int
+from repro.utils.bits import bits_to_int, is_exact_int
+
+#: Sentinel for "no valid symbol received" in the vectorized view matrix
+#: (symbols are non-negative, so -1 is unambiguous in every dtype).
+_MISSING = -1
 
 
 class GenerationProtocol:
@@ -48,6 +70,7 @@ class GenerationProtocol:
         adversary: Adversary,
         generation: int,
         view_provider: Callable[[], GlobalView],
+        vectorized: bool = True,
     ):
         self.config = config
         self.code = code
@@ -62,6 +85,10 @@ class GenerationProtocol:
         self.k = config.data_symbols
         self.c = config.symbol_bits
         self.tag = "gen%d" % generation
+        #: The vectorized path shares one broadcast view across fault-free
+        #: processors, which is only sound when the backend guarantees
+        #: agreement; probabilistic backends always run the scalar path.
+        self.vectorized = bool(vectorized) and backend.error_free
         self._honest = sorted(
             pid for pid in range(self.n) if not adversary.controls(pid)
         )
@@ -72,6 +99,10 @@ class GenerationProtocol:
         self._decode_cache: Dict[frozenset, Tuple[int, ...]] = {}
         self._consistency_cache: Dict[frozenset, bool] = {}
         self._encode_cache: Dict[Tuple[int, ...], List[int]] = {}
+        #: numpy lane for symbol matrices: wide interleaved super-symbols
+        #: do not fit an int64, so they fall back to object arrays (the
+        #: boolean mask algebra is dtype-independent).
+        self._symbol_dtype = np.int64 if self.c <= 62 else object
 
     # -- helpers -----------------------------------------------------------------
 
@@ -157,6 +188,8 @@ class GenerationProtocol:
     ) -> GenerationResult:
         """Run one generation on ``parts[pid]`` (``k`` symbols each)."""
         isolated = frozenset(self.graph.isolated)
+        if self.vectorized:
+            return self._run_vectorized(parts, default_part, isolated)
 
         codewords, received = self._matching_exchange(parts, isolated)
         m_view = self._matching_broadcast(codewords, received, isolated)
@@ -228,21 +261,12 @@ class GenerationProtocol:
             isolated, default_part,
         )
 
-    # -- matching stage -------------------------------------------------------------
+    # -- stage plumbing shared by both paths ------------------------------------------
 
-    def _matching_exchange(
-        self,
-        parts: Dict[int, Sequence[int]],
-        isolated: FrozenSet[int],
-    ) -> Tuple[Dict[int, List[int]], Dict[int, Dict[int, Optional[int]]]]:
-        """Lines 1(a)-1(b): encode and exchange one symbol per processor.
-
-        Honest senders' traffic moves as one :class:`SymbolBatch` per
-        round (no per-edge Message objects); faulty senders go through
-        the scalar path so the per-edge adversary hooks (equivocation,
-        selective silence) keep their exact semantics.
-        """
-        view = self._view()
+    def _encode_codewords(
+        self, parts: Dict[int, Sequence[int]]
+    ) -> Dict[int, List[int]]:
+        """Line 1(a): every processor encodes its part (content-shared)."""
         codewords: Dict[int, List[int]] = {}
         for pid in range(self.n):
             part = list(parts[pid])
@@ -252,7 +276,27 @@ class GenerationProtocol:
                     % (pid, self.k, len(part))
                 )
             codewords[pid] = self._cached_encode(part)
+        return codewords
 
+    def _send_matching_symbols(
+        self,
+        codewords: Dict[int, List[int]],
+        isolated: FrozenSet[int],
+    ) -> Tuple[RoundDelivery, int]:
+        """Line 1(a) traffic, identical on both paths.
+
+        Honest senders' traffic moves as one :class:`SymbolBatch` per
+        round (no per-edge Message objects); faulty senders keep their
+        per-edge adversary hooks (equivocation, selective silence), but
+        the surviving payloads ride a second batch instead of per-edge
+        scalar sends — the metering (Counter sums) and the journal
+        (sorted per round) are byte-identical either way.
+
+        Returns the delivery plus the number of leading *trusted* batches
+        whose payloads are this engine's own codeword symbols; later
+        batches carry Byzantine payloads and must be validated.
+        """
+        view = self._view()
         symbol_tag = "%s.matching.symbols" % self.tag
         mask = self.graph.trust_mask()
         live = np.ones(self.n, dtype=bool)
@@ -267,6 +311,7 @@ class GenerationProtocol:
         edge_mask = mask & honest_sender[:, np.newaxis] & live[np.newaxis, :]
         senders, receivers = np.nonzero(edge_mask)
         diagonal = [codewords[pid][pid] for pid in range(self.n)]
+        trusted_batches = 0
         if senders.shape[0]:
             self.network.send_many(
                 senders,
@@ -275,7 +320,11 @@ class GenerationProtocol:
                 bits=self.c,
                 tag=symbol_tag,
             )
-        # Faulty live senders: scalar sends through the per-edge hooks.
+            trusted_batches = 1
+        # Faulty live senders: per-edge hooks, one shared batch.
+        faulty_senders: List[int] = []
+        faulty_receivers: List[int] = []
+        faulty_payloads: List[object] = []
         for sender in range(self.n):
             if not live[sender] or honest_sender[sender]:
                 continue
@@ -288,18 +337,39 @@ class GenerationProtocol:
                 )
                 if payload is None:
                     continue  # silent: no bits on the wire
-                self.network.send(
-                    sender, recipient, payload, bits=self.c, tag=symbol_tag
-                )
-        delivery = self.network.deliver_arrays()
+                faulty_senders.append(sender)
+                faulty_receivers.append(recipient)
+                faulty_payloads.append(payload)
+        if faulty_senders:
+            self.network.send_many(
+                faulty_senders,
+                faulty_receivers,
+                faulty_payloads,
+                bits=self.c,
+                tag=symbol_tag,
+            )
+        return self.network.deliver_arrays(), trusted_batches
+
+    # -- matching stage (scalar) ------------------------------------------------------
+
+    def _matching_exchange(
+        self,
+        parts: Dict[int, Sequence[int]],
+        isolated: FrozenSet[int],
+    ) -> Tuple[Dict[int, List[int]], Dict[int, Dict[int, Optional[int]]]]:
+        """Lines 1(a)-1(b): encode and exchange one symbol per processor."""
+        codewords = self._encode_codewords(parts)
+        delivery, _ = self._send_matching_symbols(codewords, isolated)
+        mask = self.graph.trust_mask()
 
         received: Dict[int, Dict[int, Optional[int]]] = {
             pid: {} for pid in range(self.n)
         }
         for batch in delivery.batches:
-            # Batched edges are honest traffic already filtered by the
-            # trust mask at send time (the mask is symmetric, so the
-            # receiver-side line 1(b) filter is equivalent).
+            # Batched edges are already filtered by the trust mask at
+            # send time (the mask is symmetric, so the receiver-side
+            # line 1(b) filter is equivalent for honest and faulty
+            # senders alike).
             for sender, recipient, payload in zip(
                 batch.senders.tolist(), batch.receivers.tolist(), batch.payloads
             ):
@@ -368,7 +438,7 @@ class GenerationProtocol:
                 m_view[pid][i] = vector
         return m_view
 
-    # -- checking stage -------------------------------------------------------------
+    # -- checking stage (scalar) ------------------------------------------------------
 
     def _checking_stage(
         self,
@@ -428,7 +498,7 @@ class GenerationProtocol:
                 detected_view[pid][q] = bool(outcome[pid][0])
         return detected_view, detectors
 
-    # -- diagnosis stage --------------------------------------------------------------
+    # -- diagnosis stage (scalar) -----------------------------------------------------
 
     def _diagnosis_stage(
         self,
@@ -442,7 +512,6 @@ class GenerationProtocol:
     ) -> GenerationResult:
         """Lines 3(a)-3(i): assign blame, update the graph, decide."""
         view = self._view()
-        match_set = set(p_match)
 
         # Lines 3(a)-3(b): P_match members broadcast their own symbol.
         symbol_tag = "%s.diagnosis.symbol" % self.tag
@@ -519,12 +588,47 @@ class GenerationProtocol:
                     if self.graph.remove_edge(i, j):
                         removed_edges.append(tuple(sorted((i, j))))
 
+        reference_r_sharp = r_sharp_view[self._reference]
+        detected_ref = [
+            bool(detected_view[self._reference].get(q, False))
+            for q in range(self.n)
+        ]
+        return self._diagnosis_verdict(
+            p_match,
+            {j: reference_r_sharp[j] for j in p_match},
+            detected_ref,
+            removed_edges,
+            isolated,
+            default_part,
+            detectors,
+            lambda pid: {
+                j: r_sharp_view[pid][j] for j in p_match
+            },
+        )
+
+    # -- diagnosis verdict shared by both paths ----------------------------------------
+
+    def _diagnosis_verdict(
+        self,
+        p_match: Tuple[int, ...],
+        reference_r_sharp: Dict[int, int],
+        detected_ref: List[bool],
+        removed_edges: List[Tuple[int, int]],
+        isolated: FrozenSet[int],
+        default_part: Sequence[int],
+        detectors: List[int],
+        r_sharp_of: Callable[[int], Dict[int, int]],
+    ) -> GenerationResult:
+        """Lines 3(f)-3(i): false-alarm isolation, over-degree rule,
+        ``P_decide`` and the decode — identical on both paths once the
+        reference R#/Detected views and the removed edges are known.
+        ``r_sharp_of(pid)`` supplies the per-pid R# for the final decode.
+        """
+        match_set = set(p_match)
+
         # Line 3(f): with a consistent R#, a complainer whose vertex lost
         # no edge is provably lying; isolate it.
-        reference_r_sharp = r_sharp_view[self._reference]
-        r_sharp_consistent = self.code.is_consistent(
-            {j: reference_r_sharp[j] for j in p_match}
-        )
+        r_sharp_consistent = self.code.is_consistent(reference_r_sharp)
         isolated_now: List[int] = []
         if r_sharp_consistent:
             touched = {v for edge in removed_edges for v in edge}
@@ -532,7 +636,7 @@ class GenerationProtocol:
                 if q in match_set or q in isolated:
                     continue
                 if (
-                    detected_view[self._reference].get(q, False)
+                    detected_ref[q]
                     and q not in touched
                     and not self.graph.is_isolated(q)
                 ):
@@ -568,7 +672,8 @@ class GenerationProtocol:
 
         decisions = {}
         for pid in self._honest:
-            positions = {j: r_sharp_view[pid][j] for j in p_decide}
+            r_sharp = r_sharp_of(pid)
+            positions = {j: r_sharp[j] for j in p_decide}
             decisions[pid] = self._cached_decode(positions)
         self._assert_common(decisions, "diagnosis-stage decision")
 
@@ -581,4 +686,384 @@ class GenerationProtocol:
             removed_edges=removed_edges,
             isolated=isolated_now,
             detectors=detectors,
+        )
+
+    # -- vectorized path ---------------------------------------------------------------
+
+    def _run_vectorized(
+        self,
+        parts: Dict[int, Sequence[int]],
+        default_part: Sequence[int],
+        isolated: FrozenSet[int],
+    ) -> GenerationResult:
+        """Array-backed replay of :meth:`run` for error-free backends.
+
+        The broadcast contract (agreement at every fault-free processor)
+        lets one *reference* view stand in for all fault-free views, so
+        the per-pid ``O(n³)`` view assembly of the scalar path collapses
+        to ``O(n²)`` boolean matrices; the per-processor ``_assert_common``
+        checks become vacuous here and live on in the scalar path, which
+        the equivalence suite replays against this one.
+        """
+        codewords, codeword_arr, received = self._matching_exchange_vec(
+            parts, isolated
+        )
+        m_matrix = self._matching_broadcast_vec(
+            codeword_arr, received, isolated
+        )
+        p_match = self._find_match_set_vec(m_matrix)
+
+        if p_match is None:
+            # Line 1(f): honest inputs provably differ; decide the default.
+            decisions = {
+                pid: tuple(default_part) for pid in self._honest
+            }
+            return GenerationResult(
+                generation=self.generation,
+                outcome=GenerationOutcome.NO_MATCH_DEFAULT,
+                decisions=decisions,
+                p_match=None,
+            )
+
+        detected_ref, detectors = self._checking_stage_vec(
+            p_match, received, isolated
+        )
+
+        outside = np.ones(self.n, dtype=bool)
+        outside[list(p_match)] = False
+        if not bool((detected_ref & outside).any()):
+            # Line 2(c): decide C^{-1}(R_i / P_match).  Honest processors
+            # usually hold identical symbol rows, so decode once per
+            # distinct row.
+            decisions = {}
+            pm = np.array(p_match, dtype=np.int64)
+            row_cache: Dict[tuple, Tuple[int, ...]] = {}
+            for pid in self._honest:
+                values = received[pid, pm]
+                key = tuple(values.tolist())
+                decided = row_cache.get(key)
+                if decided is None:
+                    positions = {
+                        int(j): int(v)
+                        for j, v in zip(p_match, values)
+                        if v != _MISSING
+                    }
+                    try:
+                        decided = self._cached_decode(positions)
+                    except (DecodingError, ValueError):
+                        raise ProtocolInvariantError(
+                            "undecodable checking-stage symbols at pid %d"
+                            % pid
+                        )
+                    row_cache[key] = decided
+                decisions[pid] = decided
+            return GenerationResult(
+                generation=self.generation,
+                outcome=GenerationOutcome.DECIDED_CHECKING,
+                decisions=decisions,
+                p_match=p_match,
+                detectors=detectors,
+            )
+
+        return self._diagnosis_stage_vec(
+            p_match, codewords, received, detected_ref, detectors,
+            isolated, default_part,
+        )
+
+    def _matching_exchange_vec(
+        self,
+        parts: Dict[int, Sequence[int]],
+        isolated: FrozenSet[int],
+    ) -> Tuple[Dict[int, List[int]], np.ndarray, np.ndarray]:
+        """Lines 1(a)-1(b) with the symbol view as one ``(n, n)`` matrix.
+
+        ``received[i, j]`` is the symbol ``j`` sent to ``i`` (:data:`_MISSING`
+        for silence, invalid payloads and untrusted senders), scattered
+        straight from the round's :class:`SymbolBatch` arrays.
+        """
+        codewords = self._encode_codewords(parts)
+        delivery, trusted_batches = self._send_matching_symbols(
+            codewords, isolated
+        )
+        mask = self.graph.trust_mask()
+        dtype = self._symbol_dtype
+        codeword_arr = np.array(
+            [codewords[pid] for pid in range(self.n)], dtype=dtype
+        )
+        received = np.full((self.n, self.n), _MISSING, dtype=dtype)
+        for index, batch in enumerate(delivery.batches):
+            if index < trusted_batches:
+                # Honest batched traffic: payloads are this engine's own
+                # codeword symbols, valid by construction (the scalar
+                # path's per-payload `_valid_symbol` is a no-op on them)
+                # and already trust-filtered at send time.
+                received[batch.receivers, batch.senders] = np.array(
+                    batch.payloads, dtype=dtype
+                )
+                continue
+            # Byzantine batch: arbitrary payloads, validated per edge
+            # exactly as the scalar path does.
+            for sender, recipient, payload in zip(
+                batch.senders.tolist(),
+                batch.receivers.tolist(),
+                batch.payloads,
+            ):
+                symbol = self._valid_symbol(payload)
+                received[recipient, sender] = (
+                    _MISSING if symbol is None else symbol
+                )
+        for pid in range(self.n):
+            for message in delivery.inboxes[pid]:
+                if not mask[pid, message.sender]:
+                    continue  # line 1(b): ignore untrusted senders
+                symbol = self._valid_symbol(message.payload)
+                received[pid, message.sender] = (
+                    _MISSING if symbol is None else symbol
+                )
+        received[np.arange(self.n), np.arange(self.n)] = codeword_arr[
+            np.arange(self.n), np.arange(self.n)
+        ]
+        return codewords, codeword_arr, received
+
+    def _matching_broadcast_vec(
+        self,
+        codeword_arr: np.ndarray,
+        received: np.ndarray,
+        isolated: FrozenSet[int],
+    ) -> np.ndarray:
+        """Lines 1(c)-1(d) as one boolean M-matrix.
+
+        Returns the reference view ``m[i, j]`` = "``i`` claims its symbol
+        from ``j`` matched" as every fault-free processor received it.
+        """
+        view = self._view()
+        tag = "%s.matching.M" % self.tag
+        mask = np.asarray(self.graph.trust_mask())
+        honest_m = (
+            mask
+            & (received != _MISSING).astype(bool)
+            & (received == codeword_arr).astype(bool)
+        )
+        np.fill_diagonal(honest_m, True)
+        off_diagonal = ~np.eye(self.n, dtype=bool)
+        sent_bits = honest_m.astype(np.int8)[off_diagonal].reshape(
+            self.n, self.n - 1
+        ).tolist()
+        rows: List[Tuple[int, List[int]]] = []
+        for i in range(self.n):
+            bits = sent_bits[i]
+            if self.adversary.controls(i):
+                m_i = list(
+                    self.adversary.m_vector(
+                        i,
+                        [bool(x) for x in honest_m[i]],
+                        self.generation,
+                        view,
+                    )
+                )
+                if len(m_i) != self.n:
+                    m_i = (m_i + [False] * self.n)[: self.n]
+                bits = [
+                    1 if m_i[j] else 0 for j in range(self.n) if j != i
+                ]
+            rows.append((i, bits))
+        outcomes = self.backend.broadcast_bits_many(rows, tag, isolated)
+        m_matrix = np.empty((self.n, self.n), dtype=bool)
+        reference = self._reference
+        for (i, _), outcome in zip(rows, outcomes):
+            row = outcome[reference]
+            m_matrix[i, :i] = row[:i]
+            m_matrix[i, i + 1:] = row[i:]
+        np.fill_diagonal(m_matrix, True)
+        return m_matrix
+
+    def _find_match_set_vec(
+        self, m_matrix: np.ndarray
+    ) -> Optional[Tuple[int, ...]]:
+        """Line 1(e) on the M-matrix: pairwise-matching = ``m & m.T``."""
+        adjacency = m_matrix & m_matrix.T
+        np.fill_diagonal(adjacency, False)
+        clique = find_clique_matrix(adjacency, self.n - self.t)
+        return tuple(clique) if clique is not None else None
+
+    def _checking_stage_vec(
+        self,
+        p_match: Tuple[int, ...],
+        received: np.ndarray,
+        isolated: FrozenSet[int],
+    ) -> Tuple[np.ndarray, List[int]]:
+        """Lines 2(a)-2(b); returns the reference Detected flags as a
+        boolean vector plus the fault-free detectors."""
+        view = self._view()
+        tag = "%s.checking.detected" % self.tag
+        match_set = set(p_match)
+        mask = np.asarray(self.graph.trust_mask())
+        pm = np.array(p_match, dtype=np.int64)
+
+        outsiders = [
+            q for q in range(self.n)
+            if q not in match_set and q not in isolated
+        ]
+        honest_detected: Dict[int, bool] = {}
+        for q in outsiders:
+            trusted = mask[q, pm]
+            values = received[q, pm]
+            # A trusted member staying silent is itself proof of a fault.
+            if bool((trusted & (values == _MISSING).astype(bool)).any()):
+                honest_detected[q] = True
+                continue
+            symbols = {
+                int(j): int(v)
+                for j, v, ok in zip(p_match, values, trusted)
+                if ok
+            }
+            honest_detected[q] = not self._cached_consistent(symbols)
+
+        detectors: List[int] = []
+        rows: List[Tuple[int, List[int]]] = []
+        for q in outsiders:
+            flag = honest_detected[q]
+            if self.adversary.controls(q):
+                flag = bool(
+                    self.adversary.detected_flag(
+                        q, honest_detected[q], self.generation, view
+                    )
+                )
+            elif flag:
+                detectors.append(q)
+            rows.append((q, [1 if flag else 0]))
+        outcomes = self.backend.broadcast_bits_many(rows, tag, isolated)
+        detected_ref = np.zeros(self.n, dtype=bool)
+        reference = self._reference
+        for (q, _), outcome in zip(rows, outcomes):
+            detected_ref[q] = bool(outcome[reference][0])
+        return detected_ref, detectors
+
+    def _diagnosis_stage_vec(
+        self,
+        p_match: Tuple[int, ...],
+        codewords: Dict[int, List[int]],
+        received: np.ndarray,
+        detected_ref: np.ndarray,
+        detectors: List[int],
+        isolated: FrozenSet[int],
+        default_part: Sequence[int],
+    ) -> GenerationResult:
+        """Lines 3(a)-3(i) with R#/Trust views as arrays.
+
+        Broadcasts stay per-source (the scalar call sequence), so every
+        adversary and backend hook fires in the scalar order; only the
+        ``O(n)``-views-per-source assembly is collapsed to the reference
+        view plus the faulty processors' own views (their hooks must see
+        exactly what they would have seen on the scalar path).
+        """
+        view = self._view()
+        n = self.n
+        dtype = self._symbol_dtype
+        pm = np.array(p_match, dtype=np.int64)
+        n_pm = len(p_match)
+        faulty_live = [
+            i for i in range(n)
+            if self.adversary.controls(i) and i not in isolated
+        ]
+
+        # Lines 3(a)-3(b): P_match members broadcast their own symbol.
+        symbol_tag = "%s.diagnosis.symbol" % self.tag
+        r_ref: Dict[int, int] = {}
+        r_own: Dict[int, Dict[int, int]] = {i: {} for i in faulty_live}
+        for j in p_match:
+            honest_symbol = codewords[j][j]
+            symbol = honest_symbol
+            if self.adversary.controls(j):
+                symbol = (
+                    self.adversary.diagnosis_symbol(
+                        j, honest_symbol, self.generation, view
+                    )
+                    % self.code.symbol_limit
+                )
+            bit_list = [
+                (symbol >> (self.c - 1 - b)) & 1 for b in range(self.c)
+            ]
+            outcome = self.backend.broadcast_bits(
+                j, bit_list, symbol_tag, isolated
+            )
+            r_ref[j] = bits_to_int(outcome[self._reference])
+            for i in faulty_live:
+                r_own[i][j] = bits_to_int(outcome[i])
+
+        # Lines 3(c)-3(d): Trust vectors over P_match, broadcast by
+        # everyone live.  The honest baseline is one boolean matrix;
+        # faulty rows are recomputed from their own R# view before their
+        # hook sees them.
+        trust_tag = "%s.diagnosis.trust" % self.tag
+        mine = received[:, pm].copy()
+        for index, j in enumerate(p_match):
+            mine[j, index] = codewords[j][j]
+        trusts_mat = np.asarray(self.graph.trust_mask())[:, pm] | (
+            np.arange(n)[:, np.newaxis] == pm[np.newaxis, :]
+        )
+        r_ref_arr = np.array([r_ref[j] for j in p_match], dtype=dtype)
+        honest_trust_mat = (
+            trusts_mat
+            & (mine != _MISSING).astype(bool)
+            & (mine == r_ref_arr[np.newaxis, :]).astype(bool)
+        )
+        for i in faulty_live:
+            r_i = np.array([r_own[i][j] for j in p_match], dtype=dtype)
+            honest_trust_mat[i] = (
+                trusts_mat[i]
+                & (mine[i] != _MISSING).astype(bool)
+                & (mine[i] == r_i).astype(bool)
+            )
+
+        trust_ref = np.zeros((n, n_pm), dtype=bool)
+        live_row = np.zeros(n, dtype=bool)
+        reference = self._reference
+        honest_bits = honest_trust_mat.astype(np.int8).tolist()
+        for i in range(n):
+            if i in isolated:
+                continue
+            bit_list = honest_bits[i]
+            if self.adversary.controls(i):
+                honest_trust = {
+                    j: bool(honest_trust_mat[i, index])
+                    for index, j in enumerate(p_match)
+                }
+                trust_i = dict(
+                    self.adversary.trust_vector(
+                        i, dict(honest_trust), self.generation, view
+                    )
+                )
+                bit_list = [
+                    1 if trust_i.get(j, False) else 0 for j in p_match
+                ]
+            outcome = self.backend.broadcast_bits(
+                i, bit_list, trust_tag, isolated
+            )
+            live_row[i] = True
+            trust_ref[i] = outcome[reference]
+
+        # Line 3(e): edge removal from the reference view; np.argwhere's
+        # row-major order reproduces the scalar (i ascending, then
+        # P_match ascending) removal order exactly.
+        removable = (
+            live_row[:, np.newaxis]
+            & (np.arange(n)[:, np.newaxis] != pm[np.newaxis, :])
+            & ~trust_ref
+        )
+        removed_edges: List[Tuple[int, int]] = []
+        for i, index in np.argwhere(removable):
+            j = int(pm[index])
+            if self.graph.remove_edge(int(i), j):
+                removed_edges.append(tuple(sorted((int(i), j))))
+
+        return self._diagnosis_verdict(
+            p_match,
+            dict(r_ref),
+            [bool(flag) for flag in detected_ref],
+            removed_edges,
+            isolated,
+            default_part,
+            detectors,
+            lambda pid: r_ref,
         )

@@ -1,6 +1,6 @@
 """Trust/accusation bookkeeping: the paper's diagnosis graph."""
 
-from repro.graphs.cliques import find_clique
+from repro.graphs.cliques import find_clique, find_clique_matrix
 from repro.graphs.diagnosis_graph import DiagnosisGraph
 
-__all__ = ["DiagnosisGraph", "find_clique"]
+__all__ = ["DiagnosisGraph", "find_clique", "find_clique_matrix"]

@@ -8,13 +8,99 @@ set that exists, which would break validity) and deterministic (sorted
 iteration order), so every fault-free processor computes the same set from
 the same broadcast information, as the paper requires.
 
-Exponential worst case is acceptable here: simulated networks are small
-(n ≤ a few dozen) and the graphs are dense in the cases that matter.
+Two entry points share one bitset core:
+
+* :func:`find_clique` — the original dict-of-sets adjacency API;
+* :func:`find_clique_matrix` — an ``(n, n)`` boolean adjacency-matrix
+  fast path, fed directly from :meth:`DiagnosisGraph.trust_mask` and the
+  vectorized engines' M-matrices without building per-vertex sets.
+
+The core keeps the candidate pool as Python-int bitmasks (one word per 64
+vertices) and applies an iterated degree bound before the depth-first
+search: a vertex with fewer than ``size - 1`` neighbours inside the pool
+cannot belong to a ``size``-clique, and removing it can expose further
+such vertices, so the pool shrinks to its ``(size - 1)``-core first.
+Neither the pruning nor the bitset DFS changes the answer — the first
+clique in lexicographic depth-first order, exactly as the original
+recursive search returned — they only cut the search space, keeping the
+worst case practical at ``n = 63`` and beyond (the exponential blow-up of
+the unpruned search was the asymptotic bottleneck of large-n
+fault-injection sweeps).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+import numpy as np
+
+
+def _clique_positions(sym: List[int], size: int) -> Optional[List[int]]:
+    """Lexicographically-first ``size``-clique over pool positions.
+
+    ``sym[p]`` holds the neighbour positions of pool position ``p`` as a
+    bitmask; the caller guarantees the masks are symmetric (see
+    :func:`_symmetric_masks`).  Returns ascending positions, or ``None``.
+    """
+    count = len(sym)
+    if size <= 0:
+        return []
+    if count < size:
+        return None
+
+    # Iterated degree bound: shrink the pool to its (size - 1)-core.
+    alive = (1 << count) - 1
+    changed = True
+    while changed:
+        changed = False
+        remaining = alive
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            p = low.bit_length() - 1
+            if (sym[p] & alive).bit_count() < size - 1:
+                alive ^= low
+                changed = True
+        if alive.bit_count() < size:
+            return None
+
+    sym = [sym[p] & alive for p in range(count)]
+
+    def extend(found: List[int], allowed: int) -> Optional[List[int]]:
+        if len(found) == size:
+            return found
+        if len(found) + allowed.bit_count() < size:
+            return None
+        while allowed:
+            low = allowed & -allowed
+            allowed ^= low  # the loop's tail: positions after this one
+            p = low.bit_length() - 1
+            result = extend(found + [p], allowed & sym[p])
+            if result is not None:
+                return result
+            if len(found) + allowed.bit_count() < size:
+                return None
+        return None
+
+    return extend([], alive)
+
+
+def _symmetric_masks(sub: np.ndarray) -> List[int]:
+    """Per-position neighbour bitmasks of a boolean sub-matrix.
+
+    The search treats positions ``p < q`` as adjacent iff ``sub[p, q]``
+    (the lower endpoint's row decides — the original dict search's
+    semantics for asymmetric inputs), so the matrix is symmetrized from
+    its upper triangle before packing rows into Python-int masks.
+    """
+    upper = np.triu(sub, 1)
+    packed = np.packbits(upper | upper.T, axis=1, bitorder="little")
+    row_bytes = packed.tobytes()
+    width = packed.shape[1]
+    return [
+        int.from_bytes(row_bytes[p * width:(p + 1) * width], "little")
+        for p in range(sub.shape[0])
+    ]
 
 
 def find_clique(
@@ -33,19 +119,42 @@ def find_clique(
         return []
     pool = sorted(candidates) if candidates is not None else sorted(adjacency)
     pool = [v for v in pool if v in adjacency]
-
-    def extend(current: List[int], allowed: List[int]) -> Optional[List[int]]:
-        if len(current) == size:
-            return current
-        # Prune: not enough vertices left to reach the target size.
-        if len(current) + len(allowed) < size:
-            return None
-        for index, vertex in enumerate(allowed):
-            neighbours = adjacency[vertex]
-            narrowed = [u for u in allowed[index + 1:] if u in neighbours]
-            result = extend(current + [vertex], narrowed)
-            if result is not None:
-                return result
+    position = {v: p for p, v in enumerate(pool)}
+    sub = np.zeros((len(pool), len(pool)), dtype=bool)
+    for p, v in enumerate(pool):
+        for u in adjacency[v]:
+            q = position.get(u)
+            if q is not None and q != p:
+                sub[p, q] = True
+    found = _clique_positions(_symmetric_masks(sub), size)
+    if found is None:
         return None
+    return [pool[p] for p in found]
 
-    return extend([], pool)
+
+def find_clique_matrix(
+    adjacency: np.ndarray,
+    size: int,
+    candidates: Optional[Sequence[int]] = None,
+) -> Optional[List[int]]:
+    """:func:`find_clique` over an ``(n, n)`` boolean adjacency matrix.
+
+    The diagonal is ignored.  Row masks come straight from
+    ``np.packbits``, so no per-vertex Python sets are materialized — this
+    is the engines' hot path for ``P_match``/``P_decide`` searches on
+    trust masks and M-matrices.
+    """
+    if size <= 0:
+        return []
+    n = adjacency.shape[0]
+    if candidates is not None:
+        pool = [v for v in sorted(candidates) if 0 <= v < n]
+        sub = adjacency[np.ix_(pool, pool)].astype(bool, copy=True)
+    else:
+        pool = list(range(n))
+        sub = adjacency.astype(bool, copy=True)
+    np.fill_diagonal(sub, False)
+    found = _clique_positions(_symmetric_masks(sub), size)
+    if found is None:
+        return None
+    return [pool[p] for p in found]

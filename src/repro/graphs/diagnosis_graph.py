@@ -29,7 +29,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.graphs.cliques import find_clique
+from repro.graphs.cliques import find_clique_matrix
 
 
 class DiagnosisGraph:
@@ -55,9 +55,6 @@ class DiagnosisGraph:
         self._adj: np.ndarray = adj
         self._removed: Set[FrozenSet[int]] = set()
         self._isolated: Set[int] = set()
-        #: memoised dict-of-sets view for the clique search; rebuilt only
-        #: after an edge removal.
-        self._sets_cache: Optional[Dict[int, Set[int]]] = None
 
     # -- queries ------------------------------------------------------------
 
@@ -134,7 +131,6 @@ class DiagnosisGraph:
         self._adj[i, j] = False
         self._adj[j, i] = False
         self._removed.add(frozenset((i, j)))
-        self._sets_cache = None
         return True
 
     def isolate(self, i: int) -> None:
@@ -167,25 +163,16 @@ class DiagnosisGraph:
 
     # -- set finding ----------------------------------------------------------
 
-    def _adjacency_sets(self) -> Dict[int, Set[int]]:
-        """Dict-of-sets view of the matrix (for the clique search),
-        memoised until the next edge removal."""
-        if self._sets_cache is None:
-            self._sets_cache = {
-                i: set(map(int, np.flatnonzero(self._adj[i])))
-                for i in range(self.n)
-            }
-        return self._sets_cache
-
     def find_trusting_set(
         self, size: int, candidates: Optional[Sequence[int]] = None
     ) -> Optional[List[int]]:
         """A ``size``-subset of ``candidates`` that pairwise trust each other.
 
         Used for ``P_decide`` (line 3(h)).  Deterministic; returns ``None``
-        if no such set exists.
+        if no such set exists.  Runs on the adjacency matrix directly — no
+        per-vertex set materialization.
         """
-        return find_clique(self._adjacency_sets(), size, candidates)
+        return find_clique_matrix(self._adj, size, candidates)
 
     # -- serialization --------------------------------------------------------
 
@@ -218,7 +205,6 @@ class DiagnosisGraph:
         dup._adj = self._adj.copy()
         dup._removed = set(self._removed)
         dup._isolated = set(self._isolated)
-        dup._sets_cache = None
         return dup
 
     def __repr__(self) -> str:

@@ -83,8 +83,10 @@ class SyncNetwork:
         self._sent_this_round: Dict[tuple, bool] = {}
         #: packed (sender * n + receiver) edge ids per tag, covering the
         #: round's batched sends — the duplicate check the scalar path and
-        #: later batches test against.
-        self._batch_edges: Dict[str, List[np.ndarray]] = {}
+        #: later batches test against.  A set, so the adversarial paths'
+        #: per-edge scalar sends check in O(1) instead of scanning batch
+        #: arrays.
+        self._batch_edges: Dict[str, set] = {}
         #: When journalling, every delivered message is retained here in
         #: delivery order — an execution trace for debugging and audits.
         #: Batched sends are materialized into the journal so the trace is
@@ -131,11 +133,8 @@ class SyncNetwork:
         self._pending.append(message)
 
     def _edge_in_batches(self, tag: str, sender: int, receiver: int) -> bool:
-        packed = sender * self.n + receiver
-        for edges in self._batch_edges.get(tag, ()):
-            if packed in edges:
-                return True
-        return False
+        edges = self._batch_edges.get(tag)
+        return edges is not None and sender * self.n + receiver in edges
 
     def send_many(
         self,
@@ -196,11 +195,12 @@ class SyncNetwork:
             repeats = np.flatnonzero(np.diff(packed[order]) == 0)
             duplicate = int(packed[order][repeats[0]])
         else:
-            for edges in self._batch_edges.get(tag, ()):
-                clash = np.isin(unique, edges)
-                if clash.any():
-                    duplicate = int(unique[clash][0])
-                    break
+            existing = self._batch_edges.get(tag)
+            if existing:
+                for edge in unique.tolist():
+                    if edge in existing:
+                        duplicate = edge
+                        break
             if duplicate is None and self._sent_this_round:
                 for sender, receiver, sent_tag in self._sent_this_round:
                     if sent_tag == tag and (
@@ -213,7 +213,7 @@ class SyncNetwork:
             raise NetworkError(
                 "duplicate message %r in round %d" % (key, self.round_index)
             )
-        self._batch_edges.setdefault(tag, []).append(unique)
+        self._batch_edges.setdefault(tag, set()).update(unique.tolist())
         # Normalize to a list of Python scalars: receivers validate
         # payloads with exact type checks (np.int64 is not a symbol), so
         # an ndarray's elements must not leak through as numpy scalars.

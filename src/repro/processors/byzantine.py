@@ -174,18 +174,21 @@ class SlowBleedAdversary(Adversary):
 
     def _emulate_match(self, graph, n: int, t: int, broken=None):
         """Run the engine's exact P_match search for an all-honest-matching
-        round, optionally with one (attacker, victim) mismatch."""
-        from repro.graphs.cliques import find_clique
+        round, optionally with one (attacker, victim) mismatch.
 
-        adjacency = {
-            i: {
-                j
-                for j in graph.trusted_by(i)
-                if broken is None or {i, j} != set(broken)
-            }
-            for i in range(n)
-        }
-        clique = find_clique(adjacency, n - t)
+        Works on the trust mask directly (no per-vertex set building):
+        the planner probes every (attacker, victim) pair per generation,
+        so its clique searches are the adversary's own hot path at
+        large n."""
+        import numpy as np
+
+        from repro.graphs.cliques import find_clique_matrix
+
+        adjacency = np.array(graph.trust_mask())
+        if broken is not None:
+            i, j = broken
+            adjacency[i, j] = adjacency[j, i] = False
+        clique = find_clique_matrix(adjacency, n - t)
         return tuple(clique) if clique is not None else None
 
     def _plan_for(self, generation: int, view: GlobalView):
@@ -224,21 +227,20 @@ class SlowBleedAdversary(Adversary):
             # of P_match, then cries Detected and distrusts the target; the
             # removed (accuser, target) edge shields it from line 3(f).
             if choice is None:
-                from repro.graphs.cliques import find_clique
+                import numpy as np
+
+                from repro.graphs.cliques import find_clique_matrix
 
                 for accuser in sorted(self.faulty):
                     if graph.is_isolated(accuser):
                         continue
-                    adjacency = {
-                        i: {
-                            j
-                            for j in graph.trusted_by(i)
-                            if j != accuser
-                        }
-                        for i in range(n)
-                        if i != accuser
-                    }
-                    match = find_clique(adjacency, n - t)
+                    match = find_clique_matrix(
+                        np.asarray(graph.trust_mask()),
+                        n - t,
+                        candidates=[
+                            v for v in range(n) if v != accuser
+                        ],
+                    )
                     if match is None:
                         continue
                     targets = [

@@ -9,7 +9,7 @@ set within the ``t`` budget.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict
 
 from repro.processors.adversary import Adversary
 

@@ -1,6 +1,5 @@
 """Adversary framework: default honesty, hook coverage, strategy logic."""
 
-import pytest
 
 from repro.processors import (
     Adversary,

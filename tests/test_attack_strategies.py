@@ -1,6 +1,5 @@
 """Protocol-level behaviour of the richer attack strategies."""
 
-import pytest
 
 from repro import ConsensusConfig, MultiValuedConsensus
 from repro.processors import (

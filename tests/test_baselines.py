@@ -9,7 +9,7 @@ from repro.baselines import (
     PolynomialHash,
     collision_for,
 )
-from repro.processors import Adversary, CollidingInputAdversary, RandomAdversary
+from repro.processors import CollidingInputAdversary, RandomAdversary
 
 
 class TestPolynomialHash:

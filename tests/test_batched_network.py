@@ -7,7 +7,6 @@ import random
 import numpy as np
 import pytest
 
-from repro.broadcast_bit.ideal import AccountedIdealBroadcast
 from repro.coding.interleaved import InterleavedCode, make_symbol_code
 from repro.coding.reed_solomon import ReedSolomonCode
 from repro.core.broadcast import MultiValuedBroadcast

@@ -92,9 +92,6 @@ class TestFactories:
 
     @pytest.mark.parametrize("name", sorted(BACKENDS))
     def test_make_backend_all_names(self, name):
-        kwargs = {}
-        if name == "dolev_strong":
-            kwargs = {"allow_t_ge_n3": False}
         config = ConsensusConfig.create(n=7, t=2, l_bits=8, backend=name)
         from repro.network.metrics import BitMeter
         from repro.processors import Adversary

@@ -12,7 +12,6 @@ whatever inputs the honest processors hold, every run must satisfy:
 * Theorem 1 — at most t(t+1) diagnosis stages.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
