@@ -9,13 +9,16 @@ seed baseline, and an assertion-friendly copy of the metered bit totals
 (the optimisations must never change a single bit on the wire).
 
 ``--faults`` adds the adversarial grid: every attack from
-``repro.analysis.sweeps.ATTACKS`` over fault-injection (n, L) points,
-each run on the vectorized adversarial path *and* the forced-scalar
+``repro.analysis.sweeps.ATTACKS`` over fault-injection (n, L) points
+(n = 7 through 127), each run on the vectorized adversarial path —
+whose diagnosis stage dispatches through the grouped
+``broadcast_bits_many_grouped`` backend call — *and* the forced-scalar
 reference engine.  The two runs must agree byte-for-byte (decisions,
 bits and messages by tag) and match the expected bit-total table — the
 adversarial analogue of the failure-free ``--check`` discipline — and
 the vectorized/scalar wall-clock ratio is recorded as the adversarial
-speedup column.
+speedup column.  See ``docs/BENCHMARKS.md`` for how to read the JSON
+report and reproduce the README tables.
 
 Usage::
 
@@ -63,6 +66,21 @@ PR1_BASELINE = {
     (10, 65536): {"seconds": 0.0986},
 }
 
+#: Failure-free wall-clock after PR 3 (vectorized adversarial path),
+#: the "before" of the PR 4 bulk-bookkeeping fast path (grouped
+#: diagnosis broadcasts + O(1)-per-generation all-match replay).
+#: Re-measured alongside the PR 4 numbers on one machine, so the
+#: speedup_vs_pr3 column is apples-to-apples; the n = 127 point is the
+#: regime the bulk replay opened up.
+PR3_BASELINE = {
+    (4, 16384): {"seconds": 0.0034},
+    (7, 65536): {"seconds": 0.0090},
+    (7, 524288): {"seconds": 0.0327},
+    (10, 65536): {"seconds": 0.0110},
+    (31, 65536): {"seconds": 0.0393},
+    (127, 65536): {"seconds": 0.5422},
+}
+
 #: Deterministic (machine-independent) failure-free bit totals for every
 #: grid point, including the quick grid — asserted on every run so the
 #: CI smoke actually catches on-wire behaviour drift.  The (7, 8192)
@@ -76,6 +94,7 @@ EXPECTED_BITS = {
     (10, 65536): 3731640,
     (31, 4096): 58170880,
     (31, 65536): 222381600,
+    (127, 65536): 61095134604,
 }
 
 FULL_GRID = [
@@ -84,16 +103,19 @@ FULL_GRID = [
     (7, 1 << 19),
     (10, 1 << 16),
     (31, 1 << 16),
+    (127, 1 << 16),
 ]
 QUICK_GRID = [(4, 1 << 12), (7, 1 << 13), (31, 1 << 12)]
 
 #: Fault-injection grids: every ATTACKS entry at each (n, L) point, run
 #: on both the vectorized and the forced-scalar adversarial path.  The
-#: scalar engine made n = 31/63 impractical; the quick grid keeps the
-#: n = 7 acceptance point (one Byzantine generation per attack type)
-#: plus an n = 31 point so CI exercises the large-n path on every PR.
-FULL_FAULT_GRID = [(7, 1 << 16), (31, 1 << 12), (63, 1 << 12)]
-QUICK_FAULT_GRID = [(7, 1 << 12), (31, 1 << 12)]
+#: scalar engine made n = 31/63 impractical, and the grouped diagnosis
+#: broadcasts extend the practical range to n = 127; the quick grid
+#: keeps the n = 7 acceptance point (one Byzantine generation per
+#: attack type), an n = 31 point, and the n = 127 point so CI exercises
+#: the grouped-diagnosis byte-identity check on every PR.
+FULL_FAULT_GRID = [(7, 1 << 16), (31, 1 << 12), (63, 1 << 12), (127, 1 << 12)]
+QUICK_FAULT_GRID = [(7, 1 << 12), (31, 1 << 12), (127, 1 << 12)]
 
 #: Deterministic (machine-independent) adversarial bit totals per
 #: (n, L, attack) — asserted on every --faults run, against both engine
@@ -124,6 +146,12 @@ EXPECTED_FAULT_BITS = {
     (63, 4096, "false_detect"): 668772846,
     (63, 4096, "slow_bleed"): 1642196880,
     (63, 4096, "trust_poison"): 668772846,
+    (127, 4096, "corrupt"): 7614649562,
+    (127, 4096, "crash"): 7246712508,
+    (127, 4096, "equivocate"): 7614649562,
+    (127, 4096, "false_detect"): 5377009066,
+    (127, 4096, "slow_bleed"): 12391090530,
+    (127, 4096, "trust_poison"): 5377009066,
 }
 
 #: Deterministic input seed: every run times the identical workload.
@@ -165,6 +193,12 @@ def run_point(n: int, l_bits: int) -> dict:
         record["pr1_seconds"] = pr1["seconds"]
         record["speedup_vs_pr1"] = round(
             pr1["seconds"] / elapsed, 2
+        ) if elapsed else None
+    pr3 = PR3_BASELINE.get((n, l_bits))
+    if pr3 is not None:
+        record["pr3_seconds"] = pr3["seconds"]
+        record["speedup_vs_pr3"] = round(
+            pr3["seconds"] / elapsed, 2
         ) if elapsed else None
     return record
 
@@ -372,6 +406,10 @@ def main() -> None:
         "pr1_baseline": [
             {"n": n, "l_bits": l, **vals}
             for (n, l), vals in sorted(PR1_BASELINE.items())
+        ],
+        "pr3_baseline": [
+            {"n": n, "l_bits": l, **vals}
+            for (n, l), vals in sorted(PR3_BASELINE.items())
         ],
         "results": results,
     }

@@ -11,6 +11,9 @@ attempt.
 Usage::
 
     python examples/beyond_n3.py
+
+Probabilistic backends always run the scalar reference engine — see
+the path-selection table at the end of docs/ARCHITECTURE.md.
 """
 
 from repro import ConsensusConfig, MultiValuedConsensus

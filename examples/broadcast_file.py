@@ -9,6 +9,9 @@ Byzantine relays and even a Byzantine source.
 Usage::
 
     python examples/broadcast_file.py
+
+See docs/ARCHITECTURE.md (layer map: the §4 broadcast sits in
+src/repro/core/ on top of the same coding and network layers).
 """
 
 from repro.core import MultiValuedBroadcast

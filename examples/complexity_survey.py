@@ -10,6 +10,10 @@ trends from live protocol runs (not formulas):
 Usage::
 
     python examples/complexity_survey.py
+
+The sweep drivers live in src/repro/analysis/sweeps.py (see the
+analysis layer in docs/ARCHITECTURE.md); docs/BENCHMARKS.md covers
+the related wall-clock and bit-count harnesses.
 """
 
 from repro.analysis import ascii_plot, format_table, sweep_l, sweep_n

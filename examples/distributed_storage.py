@@ -15,6 +15,9 @@ versus ``Θ(n²)`` per bit for the bitwise baseline.
 Usage::
 
     python examples/distributed_storage.py
+
+See docs/ARCHITECTURE.md for the engine that executes these runs and
+docs/BENCHMARKS.md for the wall-clock/bit-count tracking behind them.
 """
 
 import hashlib

@@ -9,6 +9,10 @@ exact communication cost of each run.
 Usage::
 
     python examples/quickstart.py
+
+See docs/ARCHITECTURE.md for which engine (bulk replay, vectorized,
+scalar reference) runs each of these three scenarios, and
+docs/BENCHMARKS.md for how the printed bit counts are checked.
 """
 
 from repro import ConsensusConfig, MultiValuedConsensus

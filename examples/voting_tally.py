@@ -11,6 +11,9 @@ baseline under a hash-collision attack on the ballot encoding.
 Usage::
 
     python examples/voting_tally.py
+
+See docs/BENCHMARKS.md for how measured bit totals like the ones
+printed here are pinned and checked in CI.
 """
 
 import json

@@ -7,8 +7,9 @@ plot or assert over them without re-running simulations.
 Fault-injection sweeps (:func:`sweep_faults`) run the same grids under a
 named attack from :data:`ATTACKS` — a registry of deterministic adversary
 factories sized to ``(n, t, l_bits)`` so the same attack name scales from
-``n = 4`` to the large-n regime (31/63) the vectorized adversarial path
-makes practical.  Faulty pids are chosen so the attack actually bites:
+``n = 4`` to the large-n regime (31/63/127) the vectorized adversarial
+path and its grouped diagnosis broadcasts make practical.  Faulty pids
+are chosen so the attack actually bites:
 lexicographic ``P_match`` prefers low pids, so attacks that must operate
 *inside* ``P_match`` (symbol corruption, staged equivocation, the
 slow-bleed planner) control low pids, while attacks that operate from
@@ -225,9 +226,20 @@ def sweep_faults(
 
     Runs the real protocol under each named attack (t = ⌊(n-1)/3⌋) and
     asserts consistency, validity and the ``t(t+1)`` diagnosis bound.
-    With the vectorized adversarial path this is practical at
-    ``n = 31/63``; ``vectorized=False`` forces the scalar reference
-    engine (the benchmarks' byte-identity baseline).
+
+    Args:
+        n_values: network sizes to sweep (each with maximal ``t``).
+        l_bits: the consensus value width for every point.
+        attacks: attack names from :data:`ATTACKS`; default all, sorted.
+        vectorized: ``True`` (default) runs the vectorized adversarial
+            path, whose diagnosis stage dispatches per-generation
+            grouped broadcasts — practical at ``n = 31/63/127``;
+            ``False`` forces the scalar reference engine (the
+            benchmarks' byte-identity baseline).
+
+    Returns:
+        One :class:`FaultSweepPoint` per ``(n, attack)`` pair, in grid
+        order (``n`` outer, attack inner).
     """
     names = list(attacks) if attacks is not None else sorted(ATTACKS)
     return [

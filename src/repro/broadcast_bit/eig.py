@@ -38,7 +38,15 @@ def eig_message_count(n: int, t: int) -> int:
 
 
 class EIGBroadcast(BroadcastBackend):
-    """``OM(t)`` broadcast; exact but exponentially expensive."""
+    """``OM(t)`` broadcast; exact but exponentially expensive.
+
+    Like Phase-King, this backend simulates real relay rounds whose
+    faulty relays get per-edge ``eig_relay`` hooks regardless of who the
+    source is, so the batched entry points (including the grouped
+    diagnosis-stage call) inherit the base class's per-row dispatch and
+    ``constant_cost_honest`` stays False: there is no honest-source
+    accounting shortcut that would preserve hook order.
+    """
 
     name = "eig"
     error_free = True

@@ -26,10 +26,22 @@ def default_b(n: int) -> int:
 
 
 class AccountedIdealBroadcast(BroadcastBackend):
-    """Correct-by-construction broadcast with modelled ``Θ(n²)`` cost."""
+    """Correct-by-construction broadcast with modelled ``Θ(n²)`` cost.
+
+    Because an honest source's outcome is simply its input and no hooks
+    fire for it, every batched entry point here collapses honest work to
+    pure accounting (:attr:`constant_cost_honest`): bulk instance bumps
+    and one meter entry per call, with ``Counter`` state byte-identical
+    to the scalar per-instance loop.  Controlled sources always replay
+    the exact scalar per-instance sequence — same instance ids, same
+    ``ideal_broadcast_bit`` hook order and arguments — at their position
+    in the batch, so stateful seeded adversaries cannot tell the paths
+    apart.
+    """
 
     name = "ideal"
     error_free = True
+    constant_cost_honest = True
 
     def __init__(
         self,
@@ -94,6 +106,76 @@ class AccountedIdealBroadcast(BroadcastBackend):
             messages=self.n * (self.n - 1) * len(bits),
         )
         return dict.fromkeys(range(self.n), outcomes)
+
+    def charge_honest_instances(self, tag: str, count: int) -> None:
+        """O(1) bulk accounting for ``count`` honest-source instances.
+
+        Exactly the bookkeeping ``count`` scalar honest
+        :meth:`broadcast_bit` calls under ``tag`` would perform — one
+        instance bump, ``B(n)`` bits and ``n(n-1)`` messages each — as
+        single batched increments.  The cross-generation fast path calls
+        this to replay failure-free generations without dispatching any
+        broadcast at all.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative, got %d" % count)
+        self.stats.instances += count
+        self.stats.bits_charged += self._b * count
+        self.meter.add(
+            tag, self._b * count, messages=self.n * (self.n - 1) * count
+        )
+
+    def broadcast_bits_many_grouped(self, rows, tag, ignored=frozenset()):
+        """Grouped fast path: plan each row in order (per-source planning
+        hooks fire in the scalar plan/dispatch interleaving), collapse
+        honest rows to bulk instance bumps, replay controlled rows'
+        per-instance hook sequence at their exact position, and write
+        one summed meter entry for the whole group — byte-identical
+        ``Counter`` state to per-row :meth:`broadcast_bits` calls.
+
+        The returned per-pid lists of one row are shared (not copied per
+        pid); callers must treat them as read-only.
+        """
+        outcomes: list = []
+        total = 0
+        charged_rows = 0
+        for source, plan in rows:
+            bits = list(plan())
+            if source in ignored:
+                outcomes.append(
+                    dict.fromkeys(range(self.n), [0] * len(bits))
+                )
+                continue
+            if not 0 <= source < self.n:
+                raise ValueError("source %d out of range" % source)
+            for bit in bits:
+                if bit not in (0, 1):
+                    raise ValueError("bit must be 0 or 1, got %r" % (bit,))
+            if self.adversary.controls(source):
+                # Scalar per-instance replay: one view snapshot for the
+                # row, then one hook per bit with sequential instance ids.
+                view = self._view()
+                row = []
+                for bit in bits:
+                    instance = self._next_instance()
+                    value = self.adversary.ideal_broadcast_bit(
+                        source, bit, instance, view
+                    )
+                    row.append(1 if value else 0)
+            else:
+                self.stats.instances += len(bits)
+                row = bits
+            total += len(bits)
+            charged_rows += 1
+            outcomes.append(dict.fromkeys(range(self.n), row))
+        if charged_rows:
+            self.stats.bits_charged += self._b * total
+            self.meter.add(
+                tag,
+                self._b * total,
+                messages=self.n * (self.n - 1) * total,
+            )
+        return outcomes
 
     def broadcast_bits_many(self, rows, tag, ignored=frozenset()):
         """Bulk fast path: when every source is honest and live, outcomes

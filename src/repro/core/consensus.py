@@ -50,6 +50,20 @@ class _FastGenerationState:
     checking-stage decode returns the common part.  Any other generation
     (and every generation once the diagnosis graph loses an edge) is
     replayed through the scalar :class:`GenerationProtocol`.
+
+    On top of :meth:`emit` (one generation's batched bookkeeping),
+    :meth:`emit_run` replays a *run* of consecutive all-match
+    generations with the per-generation machinery amortized away
+    entirely — the L → 2^22 regime's bookkeeping fast path.  An
+    all-match generation's delivered payloads are never read (each
+    processor decides its own part), so when the backend's honest
+    broadcasts are pure accounting
+    (:attr:`~repro.broadcast_bit.interface.BroadcastBackend.\
+constant_cost_honest`) and the network keeps no journal, each
+    generation reduces to one :meth:`SyncNetwork.charge_round` plus two
+    :meth:`charge_honest_instances` calls and a shared-dict generation
+    record, with meter ``Counter`` state, round clock and backend
+    instance counts byte-identical to the per-generation path.
     """
 
     def __init__(self, consensus: "MultiValuedConsensus",
@@ -97,6 +111,9 @@ class _FastGenerationState:
         self.senders, self.receivers = np.nonzero(off_diagonal)
         self.sender_list = self.senders.tolist()
         self.m_row = [1] * (n - 1)
+        #: Shared per-part decision records: all-match generations with
+        #: the same part reuse one decisions dict (read-only downstream).
+        self._decisions_cache: Dict[tuple, Dict[int, tuple]] = {}
 
     def emit(self, g: int) -> GenerationResult:
         """Replay generation ``g``'s failure-free bookkeeping, batched."""
@@ -131,13 +148,97 @@ class _FastGenerationState:
         return GenerationResult(
             generation=g,
             outcome=GenerationOutcome.DECIDED_CHECKING,
-            decisions={pid: part for pid in self.honest},
+            decisions=self._decisions_for(part),
             p_match=self.p_match,
         )
 
+    def _decisions_for(self, part: tuple) -> Dict[int, tuple]:
+        """One decisions dict per distinct part, shared across records."""
+        decisions = self._decisions_cache.get(part)
+        if decisions is None:
+            decisions = {pid: part for pid in self.honest}
+            self._decisions_cache[part] = decisions
+        return decisions
+
+    def emit_run(self, g0: int, g1: int) -> List[GenerationResult]:
+        """Replay generations ``[g0, g1)`` (all all-match) in bulk.
+
+        When the backend charges honest broadcasts in O(1) and the
+        network keeps no journal, each generation is three accounting
+        calls — the symbol round, the M broadcasts, the Detected
+        broadcasts — and a shared-dict record: no payload encode, no
+        per-edge validation, no batch objects.  Otherwise (Phase-King
+        and friends, or a journalling network) every generation goes
+        through :meth:`emit`, which runs the real broadcast protocol.
+        """
+        consensus = self.consensus
+        config = self.config
+        network = consensus.network
+        backend = consensus.backend
+        if not backend.constant_cost_honest or network.journal is not None:
+            return [self.emit(g) for g in range(g0, g1)]
+        n = config.n
+        edges = n * (n - 1)
+        m_instances = n * (n - 1)  # n sources, n - 1 M bits each
+        detected_instances = len(self.outsiders)
+        results: List[GenerationResult] = []
+        for g in range(g0, g1):
+            tag = "gen%d" % g
+            network.charge_round(
+                "%s.matching.symbols" % tag, edges, config.symbol_bits
+            )
+            backend.charge_honest_instances(
+                "%s.matching.M" % tag, m_instances
+            )
+            if detected_instances:
+                backend.charge_honest_instances(
+                    "%s.checking.detected" % tag, detected_instances
+                )
+            results.append(
+                GenerationResult(
+                    generation=g,
+                    outcome=GenerationOutcome.DECIDED_CHECKING,
+                    decisions=self._decisions_for(self.parts[g]),
+                    p_match=self.p_match,
+                )
+            )
+        return results
+
 
 class MultiValuedConsensus:
-    """Error-free multi-valued Byzantine consensus (Liang & Vaidya 2011)."""
+    """Error-free multi-valued Byzantine consensus (Liang & Vaidya 2011).
+
+    The library's primary entry point: owns the cross-generation state
+    (diagnosis graph, metered network, ``Broadcast_Single_Bit``
+    backend), runs ``⌈L/D⌉`` generations of Algorithm 1 and reassembles
+    the per-generation symbol decisions into one L-bit value per
+    fault-free processor.
+
+    Two toggles select between the observationally identical engines
+    (see ``docs/ARCHITECTURE.md`` for the contract):
+
+    * ``batch_generations`` — ``True`` (default) replays runs of
+      failure-free all-match generations as bulk bookkeeping (one
+      batched encode at most, O(1) accounting per generation);
+      ``False`` forces the per-generation protocol everywhere.
+    * ``vectorized`` — ``True`` (default) runs each deviating
+      generation's array-backed path, whose diagnosis stage dispatches
+      grouped broadcasts; ``False`` forces the scalar per-edge
+      reference implementation.  Probabilistic backends always run the
+      scalar path regardless (honest views can genuinely diverge, so
+      no shared reference view exists).
+
+    Whatever the toggles, decisions, per-generation records, metered
+    bits *and* messages by tag, the round clock, backend instance
+    counts and every adversary hook's order and arguments are
+    byte-identical — the equivalence suites and the benchmarks'
+    ``--check``/``--faults`` gates assert it on every run.
+
+    >>> config = ConsensusConfig.create(n=4, t=1, l_bits=16)
+    >>> result = MultiValuedConsensus(config).run([0xBEEF] * 4)
+    >>> result.error_free, hex(result.decisions[0])
+    (True, '0xbeef')
+    """
 
     def __init__(
         self,
@@ -147,6 +248,16 @@ class MultiValuedConsensus:
         batch_generations: bool = True,
         vectorized: bool = True,
     ):
+        """Set up one deployment.
+
+        Args:
+            config: validated parameters (:meth:`ConsensusConfig.create`).
+            adversary: Byzantine strategy controlling at most ``t``
+                processors; default a compliant no-op.
+            meter: shared :class:`BitMeter`; default a fresh one.
+            batch_generations: see the class docstring.
+            vectorized: see the class docstring.
+        """
         self.config = config
         #: When True (the default), failure-free generations run through
         #: the batched cross-generation fast path; False forces the
@@ -225,9 +336,23 @@ class MultiValuedConsensus:
     def run(self, inputs: Sequence[int]) -> ConsensusResult:
         """Run consensus over ``inputs[pid]`` (one L-bit int per processor).
 
-        Returns a :class:`~repro.core.result.ConsensusResult` containing the
-        decision of every fault-free processor, per-generation records and
-        the full bit-metering snapshot.
+        Args:
+            inputs: exactly ``n`` values, each fitting in ``l_bits``
+                bits; controlled processors' inputs pass through the
+                adversary's ``input_value`` hook first.
+
+        Returns:
+            A :class:`~repro.core.result.ConsensusResult` containing the
+            decision of every fault-free processor, per-generation
+            records and the full bit-metering snapshot.  Under an
+            error-free backend the result is always consistent and
+            valid (``result.error_free``); a violation raises
+            :class:`~repro.core.config.ProtocolInvariantError` instead
+            of returning.
+
+        A consensus object owns mutable cross-generation state (the
+        diagnosis graph, the meter, the round clock), so run it once;
+        build a fresh instance per execution.
         """
         config = self.config
         if len(inputs) != config.n:
@@ -291,30 +416,46 @@ class MultiValuedConsensus:
         ):
             fast = _FastGenerationState(self, parts_by_pid)
 
-        for g in range(config.generations):
+        g = 0
+        while g < config.generations:
             self._view_extras["generation"] = g
             if (
                 fast is not None
                 and fast.all_match[g]
                 and self.graph.is_complete()
             ):
-                result = fast.emit(g)
-            else:
-                protocol = GenerationProtocol(
-                    config=config,
-                    code=self.code,
-                    network=self.network,
-                    graph=self.graph,
-                    backend=self.backend,
-                    adversary=self.adversary,
-                    generation=g,
-                    view_provider=self._make_view,
-                    vectorized=self.vectorized,
-                )
-                result = protocol.run(
-                    {pid: parts_by_pid[pid][g] for pid in range(config.n)},
-                    default_parts[g],
-                )
+                # Maximal run of consecutive all-match generations: no
+                # protocol executes inside it (so the graph cannot
+                # change), and the whole run replays as bulk
+                # bookkeeping.  Fast generations always decide at the
+                # checking stage, never on the default.
+                g_end = g + 1
+                while (
+                    g_end < config.generations and fast.all_match[g_end]
+                ):
+                    g_end += 1
+                run_results = fast.emit_run(g, g_end)
+                generation_results.extend(run_results)
+                for result in run_results:
+                    for pid in honest:
+                        decided_parts[pid].append(result.decisions[pid])
+                g = g_end
+                continue
+            protocol = GenerationProtocol(
+                config=config,
+                code=self.code,
+                network=self.network,
+                graph=self.graph,
+                backend=self.backend,
+                adversary=self.adversary,
+                generation=g,
+                view_provider=self._make_view,
+                vectorized=self.vectorized,
+            )
+            result = protocol.run(
+                {pid: parts_by_pid[pid][g] for pid in range(config.n)},
+                default_parts[g],
+            )
             generation_results.append(result)
             if result.outcome is GenerationOutcome.NO_MATCH_DEFAULT:
                 # Line 1(f): the whole algorithm terminates on the default.
@@ -322,6 +463,7 @@ class MultiValuedConsensus:
                 break
             for pid in honest:
                 decided_parts[pid].append(result.decisions[pid])
+            g += 1
 
         decisions: Dict[int, int] = {}
         if default_used:

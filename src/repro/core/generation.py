@@ -34,6 +34,12 @@ Every adversary hook fires the same number of times, in the same order,
 with the same arguments on both paths — per-faulty-pid overrides are
 applied onto the batched arrays — so stateful adversaries (seeded RNGs,
 attack planners) behave identically and metering is byte-identical.
+The diagnosis stage's per-source single-bit broadcasts dispatch through
+``broadcast_bits_many_grouped`` on the vectorized path: one grouped
+backend call per sub-stage whose per-source *planners* keep the scalar
+plan/dispatch hook interleaving (see
+:mod:`repro.broadcast_bit.interface`), which is what makes ``n >= 127``
+fault-injection sweeps practical.
 """
 
 from __future__ import annotations
@@ -951,10 +957,17 @@ class GenerationProtocol:
     ) -> GenerationResult:
         """Lines 3(a)-3(i) with R#/Trust views as arrays.
 
-        Broadcasts stay per-source (the scalar call sequence), so every
-        adversary and backend hook fires in the scalar order; only the
-        ``O(n)``-views-per-source assembly is collapsed to the reference
-        view plus the faulty processors' own views (their hooks must see
+        The stage's ``O(n)`` per-source single-bit broadcasts dispatch
+        as one :meth:`~repro.broadcast_bit.interface.BroadcastBackend.\
+broadcast_bits_many_grouped` call per sub-stage (symbols, then trust
+        vectors).  The grouped call invokes each source's *planner* —
+        which fires that source's adversary hook (``diagnosis_symbol``,
+        ``trust_vector``) — immediately before that source's backend
+        instances, so every adversary and backend hook still fires in
+        the exact scalar plan/dispatch interleaving and seeded stateful
+        adversaries replay byte-identically.  The ``O(n)``
+        views-per-source assembly is collapsed to the reference view
+        plus the faulty processors' own views (their hooks must see
         exactly what they would have seen on the scalar path).
         """
         view = self._view()
@@ -967,26 +980,32 @@ class GenerationProtocol:
             if self.adversary.controls(i) and i not in isolated
         ]
 
-        # Lines 3(a)-3(b): P_match members broadcast their own symbol.
+        # Lines 3(a)-3(b): P_match members broadcast their own symbol,
+        # one grouped backend call for the whole sub-stage.
         symbol_tag = "%s.diagnosis.symbol" % self.tag
         r_ref: Dict[int, int] = {}
         r_own: Dict[int, Dict[int, int]] = {i: {} for i in faulty_live}
-        for j in p_match:
-            honest_symbol = codewords[j][j]
-            symbol = honest_symbol
-            if self.adversary.controls(j):
-                symbol = (
-                    self.adversary.diagnosis_symbol(
-                        j, honest_symbol, self.generation, view
+
+        def symbol_plan(j: int) -> Callable[[], List[int]]:
+            def plan() -> List[int]:
+                honest_symbol = codewords[j][j]
+                symbol = honest_symbol
+                if self.adversary.controls(j):
+                    symbol = (
+                        self.adversary.diagnosis_symbol(
+                            j, honest_symbol, self.generation, view
+                        )
+                        % self.code.symbol_limit
                     )
-                    % self.code.symbol_limit
-                )
-            bit_list = [
-                (symbol >> (self.c - 1 - b)) & 1 for b in range(self.c)
-            ]
-            outcome = self.backend.broadcast_bits(
-                j, bit_list, symbol_tag, isolated
-            )
+                return [
+                    (symbol >> (self.c - 1 - b)) & 1 for b in range(self.c)
+                ]
+            return plan
+
+        symbol_outcomes = self.backend.broadcast_bits_many_grouped(
+            [(j, symbol_plan(j)) for j in p_match], symbol_tag, isolated
+        )
+        for j, outcome in zip(p_match, symbol_outcomes):
             r_ref[j] = bits_to_int(outcome[self._reference])
             for i in faulty_live:
                 r_own[i][j] = bits_to_int(outcome[i])
@@ -1020,26 +1039,31 @@ class GenerationProtocol:
         live_row = np.zeros(n, dtype=bool)
         reference = self._reference
         honest_bits = honest_trust_mat.astype(np.int8).tolist()
-        for i in range(n):
-            if i in isolated:
-                continue
-            bit_list = honest_bits[i]
-            if self.adversary.controls(i):
-                honest_trust = {
-                    j: bool(honest_trust_mat[i, index])
-                    for index, j in enumerate(p_match)
-                }
-                trust_i = dict(
-                    self.adversary.trust_vector(
-                        i, dict(honest_trust), self.generation, view
+
+        def trust_plan(i: int) -> Callable[[], List[int]]:
+            def plan() -> List[int]:
+                bit_list = honest_bits[i]
+                if self.adversary.controls(i):
+                    honest_trust = {
+                        j: bool(honest_trust_mat[i, index])
+                        for index, j in enumerate(p_match)
+                    }
+                    trust_i = dict(
+                        self.adversary.trust_vector(
+                            i, dict(honest_trust), self.generation, view
+                        )
                     )
-                )
-                bit_list = [
-                    1 if trust_i.get(j, False) else 0 for j in p_match
-                ]
-            outcome = self.backend.broadcast_bits(
-                i, bit_list, trust_tag, isolated
-            )
+                    bit_list = [
+                        1 if trust_i.get(j, False) else 0 for j in p_match
+                    ]
+                return bit_list
+            return plan
+
+        live = [i for i in range(n) if i not in isolated]
+        trust_outcomes = self.backend.broadcast_bits_many_grouped(
+            [(i, trust_plan(i)) for i in live], trust_tag, isolated
+        )
+        for i, outcome in zip(live, trust_outcomes):
             live_row[i] = True
             trust_ref[i] = outcome[reference]
 

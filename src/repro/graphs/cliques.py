@@ -110,10 +110,24 @@ def find_clique(
 ) -> Optional[List[int]]:
     """Return a sorted clique of exactly ``size`` vertices, or ``None``.
 
-    ``adjacency`` maps vertex -> set of neighbours (self-loops ignored).
-    ``candidates`` restricts the vertex pool (defaults to all vertices).
-    The first clique in lexicographic depth-first order is returned, so the
-    result is a pure function of the inputs.
+    Args:
+        adjacency: vertex -> set of neighbours (self-loops ignored; for
+            asymmetric inputs the lower endpoint's row decides, see
+            :func:`_symmetric_masks`).
+        size: exact clique size sought; ``size <= 0`` returns ``[]``.
+        candidates: restricts the vertex pool (defaults to all vertices).
+
+    Returns:
+        The first ``size``-clique in lexicographic depth-first order as
+        an ascending list, or ``None``.  The search is exact — it never
+        misses an existing clique (protocol validity depends on that) —
+        and deterministic, so every fault-free processor computes the
+        same set from the same broadcast information.
+
+    >>> find_clique({0: {1, 2}, 1: {0, 2}, 2: {0, 1}, 3: set()}, 3)
+    [0, 1, 2]
+    >>> print(find_clique({0: {1}, 1: {0}, 2: set()}, 2, candidates=[1, 2]))
+    None
     """
     if size <= 0:
         return []
@@ -139,10 +153,26 @@ def find_clique_matrix(
 ) -> Optional[List[int]]:
     """:func:`find_clique` over an ``(n, n)`` boolean adjacency matrix.
 
-    The diagonal is ignored.  Row masks come straight from
-    ``np.packbits``, so no per-vertex Python sets are materialized — this
-    is the engines' hot path for ``P_match``/``P_decide`` searches on
-    trust masks and M-matrices.
+    The matrix fast path of the vectorized engines — fed directly from
+    :meth:`DiagnosisGraph.trust_mask` (``P_decide``, line 3(h)) and the
+    M-matrices of the matching stage (``P_match``, line 1(e)) without
+    building per-vertex Python sets.
+
+    Args:
+        adjacency: boolean ``(n, n)`` matrix; the diagonal is ignored
+            and asymmetric entries resolve to the upper triangle.
+        size: exact clique size sought; ``size <= 0`` returns ``[]``.
+        candidates: optional vertex pool restriction.
+
+    Returns:
+        Exactly :func:`find_clique`'s answer on the same graph — the
+        lexicographically-first clique, or ``None`` — which the
+        equivalence suite asserts by fuzzing both entry points.
+
+    >>> import numpy as np
+    >>> adj = np.ones((4, 4), dtype=bool)
+    >>> find_clique_matrix(adj, 3)
+    [0, 1, 2]
     """
     if size <= 0:
         return []

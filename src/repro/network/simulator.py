@@ -24,6 +24,12 @@ the :class:`BitMeter`, and their accounting is byte-identical: a batch of
 reports everything (materializing batches into messages), while
 ``deliver_arrays`` keeps batches as arrays and only materializes for the
 journal.
+
+A third, traffic-free granularity serves the cross-generation fast path:
+:meth:`SyncNetwork.charge_round` accounts a full round's bits/messages
+and advances the round clock without materializing anything — the
+bookkeeping-only replay of a round whose delivered payloads are known
+never to be read (see ``docs/ARCHITECTURE.md``).
 """
 
 from __future__ import annotations
@@ -151,8 +157,21 @@ class SyncNetwork:
         no self-sends, at most one message per (sender, receiver, tag)
         per round, including against scalar sends), same metering totals
         — without constructing any per-edge :class:`Message` objects.
-        ``payloads`` may be an ndarray or a list (symbols wider than an
-        int64 lane stay Python ints).
+
+        Args:
+            senders: 1-d array/sequence of sender pids.
+            receivers: matching 1-d array/sequence of receiver pids.
+            payloads: one payload per edge; may be an ndarray or a list
+                (symbols wider than an int64 lane stay Python ints —
+                ndarray elements are normalized back to Python scalars
+                so receivers' exact-int validation still applies).
+            bits: metered width of every message in the batch.
+            tag: hierarchical meter tag.
+
+        Metering invariant: one accounting entry with the batch totals,
+        byte-identical ``Counter`` state to the per-edge scalar sends it
+        replaces.  Raises :class:`NetworkError` on any validation
+        failure (the whole batch is rejected, nothing is buffered).
         """
         senders = np.asarray(senders, dtype=np.int64)
         receivers = np.asarray(receivers, dtype=np.int64)
@@ -252,6 +271,46 @@ class SyncNetwork:
             self.journal.extend(
                 sorted(messages, key=lambda m: (m.receiver, m.sender, m.tag))
             )
+
+    def charge_round(self, tag: str, count: int, bits: int) -> None:
+        """Account one full round of ``count`` messages of ``bits`` bits
+        each and advance the round clock, without materializing any
+        traffic.
+
+        The bookkeeping equivalent of :meth:`send_many` over ``count``
+        edges followed by :meth:`deliver_arrays` with the delivery
+        discarded: meter ``Counter`` state and the round clock end up
+        byte-identical.  This is the cross-generation fast path's unit —
+        replaying a failure-free generation whose delivered payloads are
+        known never to be read (every all-match generation decides from
+        its own input part, not from decoded traffic).
+
+        Refuses to run when scalar or batched traffic is already
+        buffered in the current round (the caller would silently swallow
+        it) or when journalling is on (the journal must see materialized
+        messages, so such networks take the real send path).
+
+        >>> net = SyncNetwork(3)
+        >>> net.charge_round("replay", count=6, bits=4)
+        >>> net.meter.total_bits, net.round_index
+        (24, 1)
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative, got %d" % count)
+        if bits < 0:
+            raise ValueError("bits must be non-negative, got %d" % bits)
+        if self._pending or self._pending_batches:
+            raise NetworkError(
+                "charge_round with traffic buffered in round %d"
+                % self.round_index
+            )
+        if self.journal is not None:
+            raise NetworkError(
+                "charge_round on a journalling network: the journal "
+                "must observe materialized messages"
+            )
+        self.meter.add(tag, bits * count, messages=count)
+        self._end_round()
 
     def deliver(self) -> Dict[int, List[Message]]:
         """End the round: deliver all buffered messages, keyed by receiver.

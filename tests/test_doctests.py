@@ -8,17 +8,23 @@ import doctest
 
 import pytest
 
+import repro.broadcast_bit.interface
 import repro.coding.gf
 import repro.coding.interleaved
 import repro.coding.reed_solomon
+import repro.core.consensus
+import repro.graphs.cliques
 import repro.graphs.diagnosis_graph
 import repro.network.simulator
 import repro.processors.composite
 
 MODULES = [
+    repro.broadcast_bit.interface,
     repro.coding.gf,
     repro.coding.reed_solomon,
     repro.coding.interleaved,
+    repro.core.consensus,
+    repro.graphs.cliques,
     repro.graphs.diagnosis_graph,
     repro.network.simulator,
     repro.processors.composite,

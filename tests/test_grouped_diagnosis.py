@@ -1,0 +1,322 @@
+"""Grouped diagnosis broadcasts: equivalence and accounting contracts.
+
+The tentpole contract of ``broadcast_bits_many_grouped``: the vectorized
+diagnosis stage plans, dispatches and meters each generation's ``O(n)``
+per-source single-bit broadcasts as one grouped backend call, yet the
+execution is observationally identical to the forced-scalar reference —
+per-source planning hooks (``diagnosis_symbol``, ``trust_vector``)
+interleave with the backend's per-instance hooks in the exact scalar
+order, instance ids are sequential across rows, and the meter ``Counter``
+state is byte-identical.  Also covers the backend-level contract directly
+(accounted-ideal bulk override and the per-row default the
+protocol-simulating backends inherit), the cross-generation bulk
+bookkeeping primitives (``SyncNetwork.charge_round``,
+``charge_honest_instances``), and the n = 127 regime's time budget.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.analysis.sweeps import ATTACKS, make_attack
+from repro.broadcast_bit.ideal import AccountedIdealBroadcast
+from repro.broadcast_bit.phase_king import PhaseKingBroadcast
+from repro.core.config import ConsensusConfig
+from repro.core.consensus import MultiValuedConsensus
+from repro.network.simulator import NetworkError, SyncNetwork
+from repro.processors.adversary import Adversary
+
+from test_adversarial_vectorized import assert_runs_equivalent
+
+
+class SharedRngDiagnosisAdversary(Adversary):
+    """Stateful adversary sharing ONE RNG across planning and dispatch.
+
+    ``diagnosis_symbol``/``trust_vector`` (fired while planning a source's
+    grouped row) and ``ideal_broadcast_bit`` (fired while dispatching a
+    controlled source's instances) draw from the same stream, so any
+    reordering of the scalar plan/dispatch interleaving changes its
+    behaviour — and with it decisions, graph evolution and metering.
+    Crying Detected from outside ``P_match`` forces the diagnosis stage.
+    """
+
+    def __init__(self, faulty, seed=0):
+        super().__init__(faulty)
+        self.rng = random.Random(seed)
+
+    def detected_flag(self, pid, honest_flag, generation, view):
+        return True
+
+    def diagnosis_symbol(self, pid, honest_symbol, generation, view):
+        return honest_symbol ^ (1 if self.rng.random() < 0.5 else 0)
+
+    def trust_vector(self, pid, honest_trust, generation, view):
+        return {
+            j: trusted and self.rng.random() < 0.9
+            for j, trusted in honest_trust.items()
+        }
+
+    def ideal_broadcast_bit(self, source, bit, instance, view):
+        return bit ^ (1 if self.rng.random() < 0.25 else 0)
+
+
+class InterleaveRecordingAdversary(Adversary):
+    """Records the ``ideal_broadcast_bit`` hook stream for order checks."""
+
+    def __init__(self, faulty, events):
+        super().__init__(faulty)
+        self.events = events
+
+    def ideal_broadcast_bit(self, source, bit, instance, view):
+        self.events.append(("bsb", source, bit, instance))
+        return bit ^ 1
+
+
+class TestGroupedDiagnosisEquivalence:
+    """Vectorized (grouped) vs forced-scalar, every attack, n ∈ {4,7,10}."""
+
+    @pytest.mark.parametrize("n", [4, 7, 10])
+    @pytest.mark.parametrize("attack", sorted(ATTACKS))
+    def test_attack(self, n, attack):
+        config = ConsensusConfig.create(n=n, l_bits=512)
+        value = random.Random(127 * n).getrandbits(512)
+        assert_runs_equivalent(
+            config,
+            [value] * n,
+            lambda: make_attack(attack, n, config.t, 512),
+            "grouped %s n=%d" % (attack, n),
+        )
+
+    @pytest.mark.parametrize("n", [4, 7, 10])
+    def test_shared_rng_interleaving(self, n):
+        """Plan/dispatch reordering would desynchronize the shared RNG."""
+        config = ConsensusConfig.create(n=n, l_bits=256)
+        value = random.Random(n).getrandbits(256)
+        assert_runs_equivalent(
+            config,
+            [value] * n,
+            lambda: SharedRngDiagnosisAdversary([n - 1], seed=n),
+            "shared-rng n=%d" % n,
+        )
+
+    def test_grouped_path_engaged(self):
+        """The vectorized diagnosis stage dispatches exactly two grouped
+        calls (symbols, then trust vectors) per diagnosis generation."""
+        config = ConsensusConfig.create(n=7, l_bits=512)
+        adversary = make_attack("corrupt", 7, config.t, 512)
+        consensus = MultiValuedConsensus(config, adversary=adversary)
+        tags = []
+        original = consensus.backend.broadcast_bits_many_grouped
+
+        def spy(rows, tag, ignored=frozenset()):
+            tags.append(tag)
+            return original(rows, tag, ignored)
+
+        consensus.backend.broadcast_bits_many_grouped = spy
+        value = random.Random(4).getrandbits(512)
+        result = consensus.run([value] * 7)
+        assert result.error_free
+        assert result.diagnosis_count >= 1
+        assert len(tags) == 2 * result.diagnosis_count
+        assert all(".diagnosis." in tag for tag in tags)
+
+
+class TestIdealGroupedBackendContract:
+    """The accounted-ideal bulk override, checked against per-row scalar."""
+
+    @staticmethod
+    def _run_rows(grouped, faulty, rows, ignored=frozenset()):
+        """Run the row set through one backend; return everything
+        observable: outcomes, meter snapshot, stats and hook events."""
+        events = []
+        adversary = InterleaveRecordingAdversary(faulty, events)
+        backend = AccountedIdealBroadcast(5, 1, adversary=adversary)
+        if grouped:
+            planned = []
+            for source, bits in rows:
+                def plan(source=source, bits=bits):
+                    events.append(("plan", source))
+                    return bits
+                planned.append((source, plan))
+            outcomes = backend.broadcast_bits_many_grouped(
+                planned, "diag", ignored
+            )
+        else:
+            outcomes = []
+            for source, bits in rows:
+                events.append(("plan", source))
+                outcomes.append(
+                    backend.broadcast_bits(source, bits, "diag", ignored)
+                )
+        return outcomes, backend.meter.snapshot(), backend.stats, events
+
+    def test_bulk_override_matches_scalar_rows(self):
+        rows = [(0, [1, 0, 1]), (2, [0, 1, 1]), (1, [1, 1, 0])]
+        faulty = [2]
+        grouped = self._run_rows(True, faulty, rows)
+        scalar = self._run_rows(False, faulty, rows)
+        assert grouped[0] == scalar[0]
+        assert grouped[1] == scalar[1]  # meter Counter state
+        assert grouped[2].instances == scalar[2].instances
+        assert grouped[2].bits_charged == scalar[2].bits_charged
+        # The full event stream — planner firing, then that source's
+        # per-instance hooks, source by source — is order-identical.
+        assert grouped[3] == scalar[3]
+        assert grouped[3][:4] == [
+            ("plan", 0),
+            ("plan", 2),
+            ("bsb", 2, 0, 3),  # instances 0-2 went to the honest row
+            ("bsb", 2, 1, 4),
+        ]
+
+    def test_ignored_source_charges_nothing(self):
+        rows = [(0, [1, 1]), (3, [0, 1]), (1, [0, 0])]
+        grouped = self._run_rows(True, [], rows, ignored=frozenset([3]))
+        scalar = self._run_rows(False, [], rows, ignored=frozenset([3]))
+        assert grouped[0] == scalar[0]
+        assert grouped[0][1] == {pid: [0, 0] for pid in range(5)}
+        assert grouped[1] == scalar[1]
+        assert grouped[2].instances == scalar[2].instances == 4
+
+    def test_invalid_bit_rejected(self):
+        backend = AccountedIdealBroadcast(5, 1)
+        with pytest.raises(ValueError):
+            backend.broadcast_bits_many_grouped(
+                [(0, lambda: [2])], "diag"
+            )
+
+    def test_out_of_range_source_rejected(self):
+        backend = AccountedIdealBroadcast(5, 1)
+        with pytest.raises(ValueError):
+            backend.broadcast_bits_many_grouped(
+                [(7, lambda: [1])], "diag"
+            )
+
+
+class TestDefaultGroupedDispatch:
+    """Protocol-simulating backends inherit the per-row scalar loop."""
+
+    def test_phase_king_grouped_matches_scalar_rows(self):
+        rows = [(0, [1, 0]), (1, [1, 1]), (3, [0, 1])]
+
+        def run(grouped):
+            adversary = Adversary([2])
+            backend = PhaseKingBroadcast(4, 1, adversary=adversary)
+            if grouped:
+                outcomes = backend.broadcast_bits_many_grouped(
+                    [(s, lambda bits=bits: bits) for s, bits in rows],
+                    "diag",
+                )
+            else:
+                outcomes = [
+                    backend.broadcast_bits(s, bits, "diag")
+                    for s, bits in rows
+                ]
+            return outcomes, backend.meter.snapshot(), backend.stats
+
+        grouped = run(True)
+        scalar = run(False)
+        assert grouped[0] == scalar[0]
+        assert grouped[1] == scalar[1]
+        assert grouped[2].instances == scalar[2].instances
+        assert grouped[2].bits_charged == scalar[2].bits_charged
+
+    def test_constant_cost_flags(self):
+        assert AccountedIdealBroadcast(4, 1).constant_cost_honest
+        backend = PhaseKingBroadcast(4, 1)
+        assert not backend.constant_cost_honest
+        with pytest.raises(NotImplementedError):
+            backend.charge_honest_instances("tag", 3)
+
+
+class TestBulkBookkeepingPrimitives:
+    """The cross-generation fast path's O(1) accounting calls."""
+
+    def test_charge_round_matches_send_deliver(self):
+        reference = SyncNetwork(4)
+        senders, receivers, payloads = [], [], []
+        for i in range(4):
+            for j in range(4):
+                if i != j:
+                    senders.append(i)
+                    receivers.append(j)
+                    payloads.append(7)
+        reference.send_many(senders, receivers, payloads, bits=3, tag="r")
+        reference.deliver_arrays()
+
+        bulk = SyncNetwork(4)
+        bulk.charge_round("r", count=12, bits=3)
+        assert (
+            bulk.meter.snapshot().bits_by_tag
+            == reference.meter.snapshot().bits_by_tag
+        )
+        assert (
+            bulk.meter.snapshot().messages_by_tag
+            == reference.meter.snapshot().messages_by_tag
+        )
+        assert bulk.round_index == reference.round_index == 1
+
+    def test_charge_round_refuses_pending_traffic(self):
+        net = SyncNetwork(3)
+        net.send(0, 1, payload=1, bits=1, tag="x")
+        with pytest.raises(NetworkError):
+            net.charge_round("x", count=1, bits=1)
+
+    def test_charge_round_refuses_journalling(self):
+        net = SyncNetwork(3, journal=True)
+        with pytest.raises(NetworkError):
+            net.charge_round("x", count=1, bits=1)
+
+    def test_charge_honest_instances_matches_scalar_broadcasts(self):
+        reference = AccountedIdealBroadcast(4, 1)
+        for _ in range(5):
+            reference.broadcast_bit(0, 1, "m")
+        bulk = AccountedIdealBroadcast(4, 1)
+        bulk.charge_honest_instances("m", 5)
+        assert (
+            bulk.meter.snapshot().bits_by_tag
+            == reference.meter.snapshot().bits_by_tag
+        )
+        assert (
+            bulk.meter.snapshot().messages_by_tag
+            == reference.meter.snapshot().messages_by_tag
+        )
+        assert bulk.stats.instances == reference.stats.instances
+        assert bulk.stats.bits_charged == reference.stats.bits_charged
+
+
+class TestLargeN:
+    """The n = 127 regime the grouped diagnosis path opens up."""
+
+    def test_n127_diagnosis_under_time_budget(self):
+        # One diagnosis at n = 127 (t = 42): grouped symbol + trust
+        # broadcasts, 127-vertex clique searches, bulk replay of the
+        # remaining failure-free generations.  Budget is ~50x the
+        # observed wall-clock (~0.2 s) to stay robust on slow CI.
+        n = 127
+        config = ConsensusConfig.create(n=n, l_bits=1 << 12)
+        value = random.Random(127).getrandbits(1 << 12)
+        adversary = make_attack("trust_poison", n, config.t, 1 << 12)
+        start = time.perf_counter()
+        result = MultiValuedConsensus(config, adversary=adversary).run(
+            [value] * n
+        )
+        elapsed = time.perf_counter() - start
+        assert result.error_free
+        assert result.diagnosis_count == 1
+        assert elapsed < 10.0
+
+    def test_n127_failure_free_bulk_replay(self):
+        # Failure-free n = 127: every generation all-match, so the whole
+        # run is bulk bookkeeping — sub-second where the per-generation
+        # batch machinery took ~0.5 s and the scalar engine minutes.
+        n = 127
+        config = ConsensusConfig.create(n=n, l_bits=1 << 14)
+        value = random.Random(14).getrandbits(1 << 14)
+        start = time.perf_counter()
+        result = MultiValuedConsensus(config).run([value] * n)
+        elapsed = time.perf_counter() - start
+        assert result.error_free
+        assert result.decisions == dict.fromkeys(range(n), value)
+        assert elapsed < 5.0

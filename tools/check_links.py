@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Internal link checker for the repo's markdown documentation.
+
+Scans the given markdown files (default: ``README.md`` and
+``docs/*.md``) for references that point *into the repository* and
+fails when a target does not exist, so stale docs fail the build:
+
+* inline links and images — ``[text](target)`` / ``![alt](target)``;
+* reference-style definitions — ``[label]: target``;
+* backtick-quoted repo paths — ```` `src/repro/core/consensus.py` ````
+  and friends (any backtick span that looks like a path under a
+  known top-level directory, or a tracked top-level file);
+* prose mentions of repo paths such as ``docs/ARCHITECTURE.md`` or
+  ``benchmarks/bench_wallclock.py`` outside code fences.
+
+External targets (``http(s)://``, ``mailto:``) are only validated
+syntactically — CI must not depend on the network — and intra-document
+anchors (``#section``) are checked against the file's headings.
+
+Usage::
+
+    python tools/check_links.py                # default file set
+    python tools/check_links.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Top-level directories whose paths we expect docs to reference.
+KNOWN_DIRS = (
+    "src", "tests", "benchmarks", "examples", "docs", "tools", ".github",
+)
+
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+BACKTICK_SPAN = re.compile(r"`([^`\n]+)`")
+PROSE_PATH = re.compile(
+    r"(?<![\w`/.-])((?:%s)/[\w./-]+)" % "|".join(KNOWN_DIRS)
+)
+HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*$", re.MULTILINE)
+CODE_FENCE = re.compile(r"^```.*?^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def anchor_of(heading: str) -> str:
+    """GitHub-style anchor: lowercase, spaces to dashes, drop punctuation."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\s-]", "", text)
+    return re.sub(r"\s+", "-", text)
+
+
+def repo_basenames() -> set:
+    """Every file basename under the known directories plus the root."""
+    names = {p.name for p in REPO_ROOT.iterdir() if p.is_file()}
+    for directory in KNOWN_DIRS:
+        root = REPO_ROOT / directory
+        if root.exists():
+            names.update(p.name for p in root.rglob("*") if p.is_file())
+    return names
+
+
+def looks_like_repo_path(target: str) -> bool:
+    """A backtick span / prose token we should require to exist on disk."""
+    if not re.fullmatch(r"[\w./-]+", target):
+        return False
+    first = target.split("/", 1)[0]
+    return "/" in target and first in KNOWN_DIRS
+
+
+def check_file(path: Path) -> list:
+    text = path.read_text()
+    prose = CODE_FENCE.sub("", text)
+    anchors = {anchor_of(h) for h in HEADING.findall(text)}
+    problems = []
+
+    def check_target(target: str, kind: str) -> None:
+        if target.startswith(("http://", "https://", "mailto:")):
+            return  # external: syntax-only, no network in CI
+        if target.startswith("#"):
+            if target[1:] not in anchors:
+                problems.append(
+                    "%s: broken anchor %r" % (path, target)
+                )
+            return
+        file_part, _, anchor = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            problems.append(
+                "%s: broken %s %r" % (path, kind, target)
+            )
+            return
+        if anchor and resolved.suffix == ".md":
+            other = {anchor_of(h) for h in HEADING.findall(resolved.read_text())}
+            if anchor not in other:
+                problems.append(
+                    "%s: broken anchor %r in %s" % (path, anchor, file_part)
+                )
+
+    for match in INLINE_LINK.finditer(text):
+        check_target(match.group(1), "link")
+    for match in REFERENCE_DEF.finditer(text):
+        check_target(match.group(1), "reference")
+
+    seen = set()
+    basenames = repo_basenames()
+    for match in BACKTICK_SPAN.finditer(prose):
+        candidate = match.group(1).strip()
+        if candidate in seen or "*" in candidate:
+            # Globs (`docs/*.md`, `bench_e*.py`) name families, not files.
+            continue
+        seen.add(candidate)
+        if looks_like_repo_path(candidate):
+            if not (REPO_ROOT / candidate).exists():
+                problems.append(
+                    "%s: backtick path %r does not exist" % (path, candidate)
+                )
+        elif re.fullmatch(r"[\w-]+\.(?:md|py|json|txt|yml)", candidate):
+            # A bare filename (`bench_wallclock.py`, `README.md`): it
+            # must exist *somewhere* in the repo under that name.
+            if candidate not in basenames:
+                problems.append(
+                    "%s: backtick file %r not found anywhere in the repo"
+                    % (path, candidate)
+                )
+    for match in PROSE_PATH.finditer(BACKTICK_SPAN.sub("", prose)):
+        candidate = match.group(1).rstrip(".,;:")
+        if candidate in seen or "*" in candidate:
+            continue
+        seen.add(candidate)
+        if not (REPO_ROOT / candidate).exists():
+            problems.append(
+                "%s: referenced path %r does not exist" % (path, candidate)
+            )
+    return problems
+
+
+def main(argv) -> int:
+    if argv:
+        files = [Path(arg) for arg in argv]
+    else:
+        files = [REPO_ROOT / "README.md"] + sorted(
+            (REPO_ROOT / "docs").glob("*.md")
+        )
+    problems = []
+    for path in files:
+        if not path.exists():
+            problems.append("missing input file %s" % path)
+            continue
+        problems.extend(check_file(path))
+    for problem in problems:
+        print("BROKEN:", problem)
+    print(
+        "checked %d file(s): %s"
+        % (len(files), "FAILED" if problems else "ok")
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
