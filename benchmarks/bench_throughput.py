@@ -1,0 +1,381 @@
+"""Service-layer throughput: instances/sec across many consensus runs.
+
+The service layer exists for the many-instances workload shape — heavy
+traffic of independent consensus instances sharing one deployment.  This
+benchmark measures exactly that: a batch of failure-free instances (each
+with its own input value) executed three ways —
+
+* **looped** — the pre-service API: one
+  ``MultiValuedConsensus(config).run(...)`` per instance, rebuilding
+  code tables, backend and network every time;
+* **batched** — ``ConsensusService.run_many`` in-process, with the
+  cross-instance batching (shared code tables, content-keyed part
+  splits, the value-independent failure-free result template);
+* **process** — ``run_many`` sharded over worker processes via
+  :class:`~repro.service.executors.ProcessExecutor`.
+
+plus a mixed honest/adversarial batch (serial vs process), which is the
+fault-sweep shape the process executor is for.  Every mode's
+per-instance results are asserted byte-identical to the looped
+reference on every run — the service must never trade a single bit of
+fidelity for speed.  ``BENCH_throughput.json`` records instances/sec
+and speedups; the full grid asserts the ≥3× batched-vs-looped bar on
+the 64-instance (n=7, L=2^14) acceptance workload.
+
+``--check`` additionally sweeps every canonical attack
+(``repro.processors.ATTACKS``) at n ∈ {4, 7, 31}, running each workload
+looped, batched and process-sharded and asserting byte-identical
+per-instance results and bit totals — the service-layer analogue of
+``bench_wallclock.py``'s ``--check`` discipline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py           # full grid
+    PYTHONPATH=src python benchmarks/bench_throughput.py --quick --check  # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.consensus import MultiValuedConsensus
+from repro.processors import ATTACKS
+from repro.service import (
+    ConsensusService,
+    InstanceSpec,
+    ProcessExecutor,
+    RunSpec,
+)
+
+#: Deterministic input seed: every run times the identical workload.
+INPUT_SEED = 12345
+
+#: Failure-free grid points: (n, l_bits, instances).  The (7, 2^14, 64)
+#: row is the acceptance workload for the ≥3× batched-vs-looped bar.
+FULL_GRID = [(7, 1 << 14, 64), (31, 1 << 12, 32)]
+QUICK_GRID = [(7, 1 << 10, 16), (31, 1 << 8, 8)]
+
+#: The ≥3× acceptance bar applies to this grid point, full mode only
+#: (quick CI runners are too noisy to gate wall-clock ratios).
+ACCEPTANCE_POINT = (7, 1 << 14, 64)
+ACCEPTANCE_SPEEDUP = 3.0
+
+#: Mixed workload: honest instances interleaved with registry attacks,
+#: the fault-sweep shape the process executor shards.
+MIXED_ATTACK_CYCLE = ["none", "corrupt", "crash", "trust_poison", "random"]
+FULL_MIXED = (7, 1 << 12, 40)
+QUICK_MIXED = (7, 1 << 10, 10)
+
+#: The --check equivalence grid: every canonical attack at each n.
+CHECK_NS = [(4, 64), (7, 256), (31, 256)]
+
+
+def _values(l_bits: int, count: int) -> List[int]:
+    rng = random.Random(INPUT_SEED)
+    return [rng.getrandbits(l_bits) for _ in range(count)]
+
+
+def _looped_reference(spec: RunSpec, instances: List[InstanceSpec]):
+    """The pre-service API looped over the batch: fresh config, code,
+    backend and network per instance — the byte-identity baseline."""
+    results = []
+    for instance in instances:
+        run_spec = instance.resolve(spec)
+        config = run_spec.make_config()
+        consensus = MultiValuedConsensus(
+            config, adversary=run_spec.make_adversary()
+        )
+        results.append(consensus.run(list(instance.inputs)))
+    return results
+
+
+def _assert_identical(reference, candidates, label: str) -> None:
+    for name, results in candidates.items():
+        if len(results) != len(reference):
+            raise AssertionError(
+                "%s (%s): %d results for %d instances"
+                % (label, name, len(results), len(reference))
+            )
+        for idx, (want, got) in enumerate(zip(reference, results)):
+            if want != got:
+                raise AssertionError(
+                    "%s (%s): instance %d diverged from the looped "
+                    "reference — the service layer altered a result"
+                    % (label, name, idx)
+                )
+
+
+def _best_of(repeats: int, thunk):
+    """Best-of-``repeats`` wall-clock (every repeat runs cold state);
+    returns (seconds, last result) — the standard noise filter for
+    sub-100ms measurements."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = thunk()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def run_throughput_point(
+    n: int, l_bits: int, count: int, repeats: int
+) -> dict:
+    """One failure-free batch, executed looped / batched / process."""
+    spec = RunSpec(n=n, l_bits=l_bits)
+    instances = [
+        InstanceSpec(inputs=(value,) * n) for value in _values(l_bits, count)
+    ]
+
+    looped_s, looped = _best_of(
+        repeats, lambda: _looped_reference(spec, instances)
+    )
+    # A fresh service per repeat: each measurement pays the full
+    # cold-cache batch cost, exactly like a fresh deployment would.
+    batched_s, batched = _best_of(
+        repeats, lambda: ConsensusService(spec).run_many(instances)
+    )
+    process_s, processed = _best_of(
+        repeats,
+        lambda: ConsensusService(spec).run_many(
+            instances, executor="process"
+        ),
+    )
+
+    _assert_identical(
+        looped,
+        {"batched": batched, "process": processed},
+        "failure-free (n=%d, L=%d)" % (n, l_bits),
+    )
+    return {
+        "n": n,
+        "l_bits": l_bits,
+        "instances": count,
+        "repeats": repeats,
+        "total_bits_per_instance": looped[0].total_bits,
+        "looped_seconds": round(looped_s, 4),
+        "batched_seconds": round(batched_s, 4),
+        "process_seconds": round(process_s, 4),
+        "looped_per_sec": round(count / looped_s, 1),
+        "batched_per_sec": round(count / batched_s, 1),
+        "process_per_sec": round(count / process_s, 1),
+        "speedup_batched": round(looped_s / batched_s, 2),
+        "speedup_process": round(looped_s / process_s, 2),
+    }
+
+
+def run_mixed_point(n: int, l_bits: int, count: int) -> dict:
+    """Mixed honest/adversarial batch: serial vs process sharding."""
+    spec = RunSpec(n=n, l_bits=l_bits)
+    instances = []
+    for idx, value in enumerate(_values(l_bits, count)):
+        attack = MIXED_ATTACK_CYCLE[idx % len(MIXED_ATTACK_CYCLE)]
+        instances.append(
+            InstanceSpec(inputs=(value,) * n, attack=attack, seed=idx)
+        )
+
+    start = time.perf_counter()
+    looped = _looped_reference(spec, instances)
+    looped_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    serial = ConsensusService(spec).run_many(instances)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    processed = ConsensusService(spec).run_many(
+        instances, executor=ProcessExecutor()
+    )
+    process_s = time.perf_counter() - start
+
+    _assert_identical(
+        looped,
+        {"serial": serial, "process": processed},
+        "mixed (n=%d, L=%d)" % (n, l_bits),
+    )
+    return {
+        "n": n,
+        "l_bits": l_bits,
+        "instances": count,
+        "attack_cycle": MIXED_ATTACK_CYCLE,
+        "looped_seconds": round(looped_s, 4),
+        "serial_seconds": round(serial_s, 4),
+        "process_seconds": round(process_s, 4),
+        "serial_per_sec": round(count / serial_s, 1),
+        "process_per_sec": round(count / process_s, 1),
+        "speedup_process_vs_serial": round(serial_s / process_s, 2),
+        "workers": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity") else os.cpu_count(),
+    }
+
+
+def run_check() -> int:
+    """The byte-identity sweep: every canonical attack, three engines.
+
+    For each (n, attack) workload — two all-equal adversarial
+    instances, one honest all-equal instance and one honest
+    mixed-inputs instance — assert that ``run_many`` (serial and
+    process-sharded, which reconstructs seeded stateful adversaries in
+    the workers) returns per-instance results and bit totals
+    byte-identical to the looped one-shot reference.
+    """
+    checked = 0
+    for n, l_bits in CHECK_NS:
+        spec = RunSpec(n=n, l_bits=l_bits)
+        values = _values(l_bits, 4)
+        for attack in sorted(ATTACKS):
+            instances = [
+                InstanceSpec(inputs=(values[0],) * n, attack=attack, seed=1),
+                InstanceSpec(inputs=(values[1],) * n, attack=attack, seed=2),
+                InstanceSpec(inputs=(values[2],) * n),
+                InstanceSpec(
+                    inputs=tuple(
+                        values[3] if pid % 2 else values[2]
+                        for pid in range(n)
+                    )
+                ),
+            ]
+            looped = _looped_reference(spec, instances)
+            serial = ConsensusService(spec).run_many(instances)
+            processed = ConsensusService(spec).run_many(
+                instances, executor=ProcessExecutor(shards=2)
+            )
+            _assert_identical(
+                looped,
+                {"serial": serial, "process": processed},
+                "check (n=%d, %s)" % (n, attack),
+            )
+            if sum(r.total_bits for r in serial) != sum(
+                r.total_bits for r in looped
+            ):
+                raise AssertionError(
+                    "check (n=%d, %s): batch bit total diverged"
+                    % (n, attack)
+                )
+            checked += 1
+    print(
+        "checked %d (n, attack) workloads: run_many serial and process "
+        "byte-identical to the looped reference" % checked
+    )
+    return checked
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small smoke grid for CI (seconds, no speedup gate)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="also run the byte-identity sweep: every canonical attack "
+        "at n in {4, 7, 31}, serial and process executors vs the "
+        "looped one-shot reference",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="where to write the JSON report (default: "
+        "BENCH_throughput.json at the repo root; quick mode writes "
+        "BENCH_throughput_quick.json)",
+    )
+    args = parser.parse_args()
+    if args.output is None:
+        name = (
+            "BENCH_throughput_quick.json" if args.quick
+            else "BENCH_throughput.json"
+        )
+        args.output = Path(__file__).resolve().parent.parent / name
+
+    checked: Optional[int] = None
+    if args.check:
+        checked = run_check()
+
+    repeats = 1 if args.quick else 3
+    results = []
+    for n, l_bits, count in (QUICK_GRID if args.quick else FULL_GRID):
+        record = run_throughput_point(n, l_bits, count, repeats)
+        results.append(record)
+        print(
+            "n=%-3d L=2^%-3d %3d inst  looped %7.1f/s  batched %8.1f/s "
+            "(%.1fx)  process %8.1f/s (%.1fx)"
+            % (
+                n,
+                l_bits.bit_length() - 1,
+                count,
+                record["looped_per_sec"],
+                record["batched_per_sec"],
+                record["speedup_batched"],
+                record["process_per_sec"],
+                record["speedup_process"],
+            )
+        )
+
+    n, l_bits, count = QUICK_MIXED if args.quick else FULL_MIXED
+    mixed = run_mixed_point(n, l_bits, count)
+    print(
+        "mixed n=%d L=2^%d %d inst  serial %7.1f/s  process %7.1f/s "
+        "(%.1fx, %s workers)"
+        % (
+            n,
+            l_bits.bit_length() - 1,
+            count,
+            mixed["serial_per_sec"],
+            mixed["process_per_sec"],
+            mixed["speedup_process_vs_serial"],
+            mixed["workers"],
+        )
+    )
+
+    if not args.quick:
+        for record in results:
+            if (
+                record["n"],
+                record["l_bits"],
+                record["instances"],
+            ) != ACCEPTANCE_POINT:
+                continue
+            if record["speedup_batched"] < ACCEPTANCE_SPEEDUP:
+                raise AssertionError(
+                    "batched run_many managed only %.2fx over looped "
+                    "one-shot at the acceptance point (bar: %.1fx)"
+                    % (record["speedup_batched"], ACCEPTANCE_SPEEDUP)
+                )
+
+    report = {
+        "benchmark": "bench_throughput",
+        "mode": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+        "input_seed": INPUT_SEED,
+        "acceptance": {
+            "point": {
+                "n": ACCEPTANCE_POINT[0],
+                "l_bits": ACCEPTANCE_POINT[1],
+                "instances": ACCEPTANCE_POINT[2],
+            },
+            "min_speedup_batched": ACCEPTANCE_SPEEDUP,
+        },
+        "results": results,
+        "mixed": mixed,
+    }
+    if checked is not None:
+        report["check_workloads"] = checked
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print("wrote %s" % args.output)
+
+
+if __name__ == "__main__":
+    main()

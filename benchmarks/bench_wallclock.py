@@ -9,7 +9,8 @@ seed baseline, and an assertion-friendly copy of the metered bit totals
 (the optimisations must never change a single bit on the wire).
 
 ``--faults`` adds the adversarial grid: every attack from
-``repro.analysis.sweeps.ATTACKS`` over fault-injection (n, L) points
+the pinned ``repro.processors.FAULT_GRID_ATTACKS`` set over
+fault-injection (n, L) points
 (n = 7 through 127), each run on the vectorized adversarial path —
 whose diagnosis stage dispatches through the grouped
 ``broadcast_bits_many_grouped`` backend call — *and* the forced-scalar
@@ -40,9 +41,9 @@ import random
 import time
 from pathlib import Path
 
-from repro.analysis.sweeps import ATTACKS, make_attack
 from repro.core.config import ConsensusConfig
 from repro.core.consensus import MultiValuedConsensus
+from repro.processors import FAULT_GRID_ATTACKS, make_attack
 
 #: Failure-free wall-clock of the scalar per-row coding engine (the state
 #: of the repo before the batched matmat engine landed), measured with
@@ -107,8 +108,8 @@ FULL_GRID = [
 ]
 QUICK_GRID = [(4, 1 << 12), (7, 1 << 13), (31, 1 << 12)]
 
-#: Fault-injection grids: every ATTACKS entry at each (n, L) point, run
-#: on both the vectorized and the forced-scalar adversarial path.  The
+#: Fault-injection grids: every FAULT_GRID_ATTACKS entry at each (n, L)
+#: point, run on both the vectorized and forced-scalar adversarial path.  The
 #: scalar engine made n = 31/63 impractical, and the grouped diagnosis
 #: broadcasts extend the practical range to n = 127; the quick grid
 #: keeps the n = 7 acceptance point (one Byzantine generation per
@@ -337,7 +338,8 @@ def main() -> None:
     parser.add_argument(
         "--faults",
         action="store_true",
-        help="also run the fault-injection grid: every registered attack "
+        help="also run the fault-injection grid: every pinned fault-grid "
+        "attack "
         "per (n, L) point, vectorized vs forced-scalar, asserting "
         "byte-identical metering and the expected adversarial bit totals",
     )
@@ -375,7 +377,7 @@ def main() -> None:
     if args.faults:
         fault_grid = QUICK_FAULT_GRID if args.quick else FULL_FAULT_GRID
         for n, l_bits in fault_grid:
-            for attack in sorted(ATTACKS):
+            for attack in sorted(FAULT_GRID_ATTACKS):
                 record = run_fault_point(n, l_bits, attack)
                 fault_results.append(record)
                 print(

@@ -1,22 +1,23 @@
 #!/usr/bin/env python3
-"""Quickstart: agree on a value among n processors with Byzantine faults.
+"""Quickstart: agree on values among n processors with Byzantine faults.
 
-Runs the paper's error-free multi-valued consensus three times —
-fault-free, with symbol-corrupting Byzantine processors, and with honest
-processors holding different inputs — and prints the decisions plus the
-exact communication cost of each run.
+Builds one :class:`repro.ConsensusService` — the primary API: construct
+once per deployment, run many consensus instances through it — and
+exercises it four ways: a fault-free instance, a Byzantine attack from
+the canonical registry, honest processors holding different inputs, and
+a batched ``run_many`` over a stream of values.
 
 Usage::
 
     python examples/quickstart.py
 
-See docs/ARCHITECTURE.md for which engine (bulk replay, vectorized,
-scalar reference) runs each of these three scenarios, and
-docs/BENCHMARKS.md for how the printed bit counts are checked.
+See docs/ARCHITECTURE.md ("Service layer") for which engine (template
+cloning, bulk replay, vectorized, scalar reference) serves each of
+these scenarios, and docs/BENCHMARKS.md for how the printed bit counts
+are checked.
 """
 
-from repro import ConsensusConfig, MultiValuedConsensus
-from repro.processors import SlowBleedAdversary
+from repro import ConsensusConfig, ConsensusService
 
 
 def banner(title: str) -> None:
@@ -29,6 +30,7 @@ def banner(title: str) -> None:
 def main() -> None:
     n, t, l_bits = 7, 2, 256
     config = ConsensusConfig.create(n=n, t=t, l_bits=l_bits)
+    service = ConsensusService(config)  # construct once, run many
     print(
         "n=%d processors, t=%d Byzantine, L=%d bits "
         "(D=%d bits/generation, %d generations)"
@@ -37,7 +39,7 @@ def main() -> None:
 
     banner("1. Fault-free run: everyone holds the same 256-bit value")
     value = 0x1234_5678_9ABC_DEF0_1234_5678_9ABC_DEF0
-    result = MultiValuedConsensus(config).run([value] * n)
+    result = service.run(value)
     print("consistent: %s" % result.consistent)
     print("agreed value == input: %s" % (result.value == value))
     print("total bits on the wire: %d" % result.total_bits)
@@ -47,11 +49,11 @@ def main() -> None:
     )
 
     banner("2. Two Byzantine processors attack the symbol exchange")
-    # SlowBleedAdversary corrupts one symbol per generation, picked so the
-    # victim lands outside P_match and triggers the diagnosis stage — the
-    # worst case for Theorem 1's t(t+1) bound.
-    adversary = SlowBleedAdversary(faulty=[0, 1])
-    result = MultiValuedConsensus(config, adversary=adversary).run([value] * n)
+    # The registry's slow_bleed strategy corrupts one symbol per
+    # generation, picked so the victim lands outside P_match and
+    # triggers the diagnosis stage — the worst case for Theorem 1's
+    # t(t+1) bound.
+    result = service.run(value, attack="slow_bleed", faulty=[0, 1])
     print("consistent: %s" % result.consistent)
     print("agreed value == input: %s" % (result.value == value))
     print("diagnosis stages run: %d (bound: t(t+1) = %d)"
@@ -63,7 +65,7 @@ def main() -> None:
     # With n - t = 5 of 7 sharing a value, a matching set still exists and
     # the majority value wins (validity only constrains the all-equal case).
     inputs = [value, value, value + 1, value, value + 2, value, value]
-    result = MultiValuedConsensus(config).run(inputs)
+    result = service.run(inputs)
     print("consistent: %s" % result.consistent)
     print("decided the 5-processor majority value: %s"
           % (result.value == value))
@@ -72,9 +74,18 @@ def main() -> None:
     # differ and every honest processor decides the default (line 1(f)).
     inputs = [value, value, value + 1, value + 1, value + 2,
               value + 2, value + 3]
-    result = MultiValuedConsensus(config).run(inputs)
+    result = service.run(inputs)
     print("fragmented inputs -> consistent: %s, default used: %s"
           % (result.consistent, result.default_used))
+
+    banner("4. A traffic stream: 16 instances through one run_many batch")
+    values = [value + i for i in range(16)]
+    results = service.run_many(values)
+    print("all consistent: %s" % all(r.consistent for r in results))
+    print("decisions match inputs: %s"
+          % all(r.value == v for r, v in zip(results, values)))
+    print("bits per instance: %d (identical for every all-equal instance)"
+          % results[0].total_bits)
 
 
 if __name__ == "__main__":

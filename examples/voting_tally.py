@@ -1,24 +1,28 @@
 #!/usr/bin/env python3
-"""Electronic voting: authorities agree on the full ballot set.
+"""Electronic voting: authorities agree on every precinct's ballot batch.
 
 The paper (after Fitzi-Hirt) cites voting as a motivating workload: "the
 authorities must agree on the set of all ballots to be tallied (which can
-be gigabytes of data)".  This example runs a scaled-down election: 10
-authorities, 3 of them Byzantine, agreeing on a serialized batch of
-ballots, and contrasts the error-free algorithm with the Fitzi-Hirt
-baseline under a hash-collision attack on the ballot encoding.
+be gigabytes of data)".  A real election is not one consensus instance
+but a *stream* of them — one per precinct batch — over a fixed set of
+authorities: exactly the many-instances shape
+:class:`repro.ConsensusService` serves.  This example commits 12
+precinct batches through one service (``submit`` + ``drain``), then
+contrasts the error-free algorithm with the Fitzi-Hirt baseline under a
+hash-collision attack on the ballot encoding.
 
 Usage::
 
     python examples/voting_tally.py
 
-See docs/BENCHMARKS.md for how measured bit totals like the ones
-printed here are pinned and checked in CI.
+See docs/ARCHITECTURE.md ("Service layer") for the cross-instance
+batching the drain performs, and docs/BENCHMARKS.md for how measured
+bit totals like the ones printed here are pinned and checked in CI.
 """
 
 import json
 
-from repro import ConsensusConfig, MultiValuedConsensus
+from repro import ConsensusConfig, ConsensusService
 from repro.baselines import FitziHirtConsensus, PolynomialHash, collision_for
 
 
@@ -27,28 +31,48 @@ def serialize_ballots(ballots) -> int:
     return int.from_bytes(blob, "big"), 8 * len(blob)
 
 
-def main() -> None:
-    n, t = 10, 3
-    ballots = [
-        {"voter": "v%04d" % i, "choice": ["yes", "no", "abstain"][i % 3]}
-        for i in range(64)
+def precinct_ballots(precinct: int):
+    return [
+        {
+            "precinct": precinct,
+            "voter": "v%04d" % i,
+            "choice": ["yes", "no", "abstain"][(i + precinct) % 3],
+        }
+        for i in range(8)
     ]
-    value, l_bits = serialize_ballots(ballots)
-    print("ballot batch: %d ballots, %d bits serialized" % (len(ballots), l_bits))
 
-    # --- error-free consensus commits the batch ---------------------------------
-    config = ConsensusConfig.create(n=n, t=t, l_bits=l_bits)
-    result = MultiValuedConsensus(config).run([value] * n)
-    assert result.consistent and result.value == value
+
+def main() -> None:
+    n, t, precincts = 10, 3, 12
+    batches = [serialize_ballots(precinct_ballots(p)) for p in range(precincts)]
+    l_bits = max(bits for _, bits in batches)
     print(
-        "error-free consensus: committed identical batch at all %d honest "
-        "authorities (%d bits on the wire)" % (n - t, result.total_bits)
+        "%d precinct batches, up to %d bits serialized each"
+        % (precincts, l_bits)
+    )
+
+    # --- one service commits the whole election --------------------------------
+    service = ConsensusService(ConsensusConfig.create(n=n, t=t, l_bits=l_bits))
+    tickets = {service.submit(value): value for value, _ in batches}
+    results = service.drain()  # one batched run_many over all precincts
+    committed = sum(
+        1
+        for ticket, value in tickets.items()
+        if results[ticket].consistent and results[ticket].value == value
+    )
+    total_bits = sum(result.total_bits for result in results)
+    assert committed == precincts
+    print(
+        "error-free consensus: committed %d/%d identical batches at all %d "
+        "honest authorities (%d bits on the wire total)"
+        % (committed, precincts, n - t, total_bits)
     )
 
     # --- the Fitzi-Hirt failure mode -----------------------------------------------
     # Two honest factions end up with byte-identical-looking but different
     # ballot encodings that collide under the session hash key.  Fitzi-Hirt
     # concludes "all equal" and the authorities commit DIFFERENT batches.
+    value, _ = batches[0]
     kappa = 12
     fh = FitziHirtConsensus(n=n, t=t, l_bits=l_bits, kappa=kappa, key_seed=7)
     key = fh.draw_key()
@@ -65,9 +89,7 @@ def main() -> None:
         fh_result.consistent, fh_result.erred
     ))
 
-    ours = MultiValuedConsensus(
-        ConsensusConfig.create(n=n, t=t, l_bits=l_bits)
-    ).run(inputs)
+    ours = service.run(inputs)
     print("error-free algorithm on the same inputs:")
     print("  consistent: %s, default used: %s (differing inputs detected)"
           % (ours.consistent, ours.default_used))

@@ -11,11 +11,18 @@ the baselines the paper compares against (bitwise consensus, Fitzi-Hirt
 
 Quickstart::
 
-    from repro import ConsensusConfig, MultiValuedConsensus
+    from repro import ConsensusConfig, ConsensusService
 
-    config = ConsensusConfig.create(n=7, t=2, l_bits=128)
-    result = MultiValuedConsensus(config).run([42] * 7)
+    service = ConsensusService(ConsensusConfig.create(n=7, t=2, l_bits=128))
+    result = service.run(42)
     assert result.consistent and result.value == 42
+    results = service.run_many([42, 43, 44])   # three instances, batched
+
+One-shot compatibility entry point (delegates to the same engine)::
+
+    from repro import MultiValuedConsensus
+
+    result = MultiValuedConsensus(config).run([42] * 7)
 """
 
 from repro.core import (
@@ -29,11 +36,27 @@ from repro.core import (
     MultiValuedConsensus,
     ProtocolInvariantError,
 )
-from repro.processors import Adversary
+from repro.processors import ATTACKS, Adversary, make_attack
+from repro.service import (
+    ConsensusService,
+    InstanceSpec,
+    ProcessExecutor,
+    RunSpec,
+    SerialExecutor,
+    WorkloadSpec,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ConsensusService",
+    "RunSpec",
+    "InstanceSpec",
+    "WorkloadSpec",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "ATTACKS",
+    "make_attack",
     "ConsensusConfig",
     "MultiValuedConsensus",
     "MultiValuedBroadcast",

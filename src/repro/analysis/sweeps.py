@@ -5,21 +5,30 @@ exact bit counts, and returns plain dataclass rows, so callers can print,
 plot or assert over them without re-running simulations.
 
 Fault-injection sweeps (:func:`sweep_faults`) run the same grids under a
-named attack from :data:`ATTACKS` — a registry of deterministic adversary
-factories sized to ``(n, t, l_bits)`` so the same attack name scales from
+named attack from the canonical registry
+(:data:`repro.processors.ATTACKS`) so the same attack name scales from
 ``n = 4`` to the large-n regime (31/63/127) the vectorized adversarial
-path and its grouped diagnosis broadcasts make practical.  Faulty pids
-are chosen so the attack actually bites:
-lexicographic ``P_match`` prefers low pids, so attacks that must operate
-*inside* ``P_match`` (symbol corruption, staged equivocation, the
-slow-bleed planner) control low pids, while attacks that operate from
-outside (crash, false detection, trust poisoning) control high pids.
+path and its grouped diagnosis broadcasts make practical; the default
+sweep set is the pinned
+:data:`repro.processors.FAULT_GRID_ATTACKS` grid the tracked benchmark
+bit tables are keyed to.  Faulty pids default to the registry's
+attack-specific choices, picked so the attack actually bites (see
+:mod:`repro.processors.registry`).
+
+This module's own ``ATTACKS``/``make_attack`` names are deprecated
+import shims for that registry, kept for callers of the pre-service
+API.
+
+Every sweep consumes :class:`repro.service.RunSpec` — the one
+declarative run description shared with the CLI and the benchmarks —
+and runs through a :class:`repro.service.ConsensusService`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.analysis.complexity import (
     checking_stage_bits,
@@ -27,17 +36,11 @@ from repro.analysis.complexity import (
     matching_stage_bits,
 )
 from repro.broadcast_bit.ideal import default_b
-from repro.core.config import ConsensusConfig
-from repro.core.consensus import MultiValuedConsensus
 from repro.processors.adversary import Adversary
-from repro.processors.byzantine import (
-    CrashAdversary,
-    FalseDetectionAdversary,
-    SlowBleedAdversary,
-    StagedEquivocationAdversary,
-    SymbolCorruptionAdversary,
-    TrustPoisoningAdversary,
-)
+from repro.processors.registry import FAULT_GRID_ATTACKS
+from repro.processors.registry import make_attack as _make_attack
+from repro.service.service import ConsensusService
+from repro.service.spec import RunSpec
 
 
 @dataclass(frozen=True)
@@ -69,11 +72,10 @@ def _run_point(
     l_bits: int,
     adversary_factory: Optional[Callable[[], Adversary]],
 ) -> SweepPoint:
-    config = ConsensusConfig.create(n=n, t=t, l_bits=l_bits)
+    service = ConsensusService(RunSpec(n=n, t=t, l_bits=l_bits))
+    config = service.config
     adversary = adversary_factory() if adversary_factory else Adversary()
-    result = MultiValuedConsensus(config, adversary=adversary).run(
-        [(1 << l_bits) - 1] * n
-    )
+    result = service.run((1 << l_bits) - 1, adversary=adversary)
     if not (result.consistent and result.valid):
         raise AssertionError(
             "sweep point n=%d t=%d L=%d produced an inconsistent run"
@@ -121,50 +123,54 @@ def sweep_n(
 
 # -- fault-injection sweeps ---------------------------------------------------
 
-#: Deterministic adversary factories keyed by attack name; each takes
-#: ``(n, t, l_bits)`` and controls at most ``t`` processors.
-ATTACKS: Dict[str, Callable[[int, int, int], Adversary]] = {
-    # Fail-stop: every faulty processor falls silent from generation 0.
-    "crash": lambda n, t, l_bits: CrashAdversary(list(range(n - t, n))),
-    # One faulty P_match member corrupts the symbol sent to the last
-    # honest processor, which detects and triggers a diagnosis.
-    "corrupt": lambda n, t, l_bits: SymbolCorruptionAdversary(
-        [0], victims={0: [n - 1]}
-    ),
-    # Outsiders cry Detected every generation; line 3(f) isolates them.
-    "false_detect": lambda n, t, l_bits: FalseDetectionAdversary(
-        list(range(n - t, n))
-    ),
-    # Faulty processors accuse every honest P_match member in their
-    # Trust vectors until the over-degree rule isolates them.
-    "trust_poison": lambda n, t, l_bits: TrustPoisoningAdversary(
-        list(range(n - t, n))
-    ),
-    # Self-consistent equivocation: pid 0 shows the last processor a
-    # genuine codeword of a different value.  Zero differs from the
-    # sweeps' all-ones input in every generation (all-ones would be a
-    # silent no-op there: equivocating to the value actually held).
-    "equivocate": lambda n, t, l_bits: StagedEquivocationAdversary(
-        [0], deceived=[n - 1], alt_value=0
-    ),
-    # Worst-case diagnosis count: one bad edge spent per generation.
-    "slow_bleed": lambda n, t, l_bits: SlowBleedAdversary(
-        list(range(t))
-    ),
+#: Deprecated module attributes and their canonical replacements; kept
+#: as import shims (module ``__getattr__``) that warn exactly once.
+_DEPRECATED = {
+    "ATTACKS": "repro.processors.ATTACKS",
+    "make_attack": "repro.processors.make_attack",
 }
+_DEPRECATION_WARNED: set = set()
+#: Memoized shim for the historical module-constant ``ATTACKS`` dict,
+#: so repeated accesses return one object (identity-stable, like the
+#: constant it replaces) instead of rebuilding factories per access.
+_ATTACKS_SHIM: Optional[dict] = None
 
 
-def make_attack(name: str, n: int, t: int, l_bits: int) -> Adversary:
-    """Instantiate the named attack for an ``(n, t)`` deployment."""
-    try:
-        factory = ATTACKS[name]
-    except KeyError:
-        raise ValueError(
-            "unknown attack %r (choose from %s)" % (name, sorted(ATTACKS))
+def __getattr__(name: str):
+    """Deprecated aliases of the canonical attack registry.
+
+    ``repro.analysis.sweeps.ATTACKS`` and ``.make_attack`` moved to
+    :mod:`repro.processors`; these shims keep pre-service callers
+    working and emit one :class:`DeprecationWarning` per name per
+    process.  The shimmed ``ATTACKS`` preserves its historical shape —
+    a dict of ``(n, t, l_bits) -> Adversary`` factories over the pinned
+    fault-grid attacks.
+    """
+    if name not in _DEPRECATED:
+        raise AttributeError(
+            "module %r has no attribute %r" % (__name__, name)
         )
-    if t < 1:
-        raise ValueError("attack %r needs t >= 1, got t=%d" % (name, t))
-    return factory(n, t, l_bits)
+    if name not in _DEPRECATION_WARNED:
+        _DEPRECATION_WARNED.add(name)
+        warnings.warn(
+            "repro.analysis.sweeps.%s is deprecated; use %s"
+            % (name, _DEPRECATED[name]),
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    if name == "make_attack":
+        return _make_attack
+    global _ATTACKS_SHIM
+    if _ATTACKS_SHIM is None:
+        _ATTACKS_SHIM = {
+            attack: (
+                lambda n, t, l_bits, _attack=attack: _make_attack(
+                    _attack, n, t, l_bits
+                )
+            )
+            for attack in FAULT_GRID_ATTACKS
+        }
+    return _ATTACKS_SHIM
 
 
 @dataclass(frozen=True)
@@ -189,11 +195,12 @@ class FaultSweepPoint:
 def _run_fault_point(
     n: int, t: int, l_bits: int, attack: str, vectorized: bool
 ) -> FaultSweepPoint:
-    config = ConsensusConfig.create(n=n, t=t, l_bits=l_bits)
-    adversary = make_attack(attack, n, t, l_bits)
-    result = MultiValuedConsensus(
-        config, adversary=adversary, vectorized=vectorized
-    ).run([(1 << l_bits) - 1] * n)
+    spec = RunSpec(
+        n=n, t=t, l_bits=l_bits, attack=attack, vectorized=vectorized
+    )
+    service = ConsensusService(spec)
+    config = service.config
+    result = service.run((1 << l_bits) - 1)
     if not (result.consistent and result.valid):
         raise AssertionError(
             "fault point n=%d t=%d L=%d attack=%s broke consensus"
@@ -230,7 +237,9 @@ def sweep_faults(
     Args:
         n_values: network sizes to sweep (each with maximal ``t``).
         l_bits: the consensus value width for every point.
-        attacks: attack names from :data:`ATTACKS`; default all, sorted.
+        attacks: attack names from :data:`repro.processors.ATTACKS`;
+            default the pinned
+            :data:`repro.processors.FAULT_GRID_ATTACKS` grid, sorted.
         vectorized: ``True`` (default) runs the vectorized adversarial
             path, whose diagnosis stage dispatches per-generation
             grouped broadcasts — practical at ``n = 31/63/127``;
@@ -241,7 +250,10 @@ def sweep_faults(
         One :class:`FaultSweepPoint` per ``(n, attack)`` pair, in grid
         order (``n`` outer, attack inner).
     """
-    names = list(attacks) if attacks is not None else sorted(ATTACKS)
+    names = (
+        list(attacks) if attacks is not None
+        else sorted(FAULT_GRID_ATTACKS)
+    )
     return [
         _run_fault_point(n, (n - 1) // 3, l_bits, attack, vectorized)
         for n in n_values

@@ -4,19 +4,27 @@ Installed as the ``repro-sim`` entry point::
 
     repro-sim consensus --n 7 --t 2 --l-bits 256 --value 0xDEADBEEF
     repro-sim consensus --n 7 --t 2 --l-bits 96 --attack slow-bleed
+    repro-sim consensus --n 7 --l-bits 96 --attack trust_poison
     repro-sim broadcast --n 10 --l-bits 4096 --source 0 --value 0x1234
     repro-sim baseline --which fitzi-hirt --n 7 --l-bits 128
     repro-sim analyze --n 7 --t 2 --l-bits 1048576
     repro-sim sweep --n 7 --t 2 --l-min 10 --l-max 18
 
 Every subcommand prints deterministic bit counts; no randomness beyond
-the seeded adversaries.
+the seeded adversaries.  Attack names come from the canonical registry
+(:data:`repro.processors.ATTACKS`; hyphenated spellings normalize), the
+run description is one :class:`repro.service.RunSpec`, and the
+``consensus`` subcommand executes through a
+:class:`repro.service.ConsensusService`.  Faulty pids default to the
+attack's registry-chosen set — the pids where that attack actually
+bites — rather than the historical fixed low-pid prefix.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from typing import Optional, Sequence
 
 from repro.analysis.complexity import (
@@ -32,27 +40,30 @@ from repro.analysis.report import consensus_report, format_table
 from repro.analysis.sweeps import sweep_l
 from repro.baselines import BitwiseConsensus, FitziHirtConsensus
 from repro.broadcast_bit.ideal import default_b
-from repro.core import ConsensusConfig, MultiValuedBroadcast, MultiValuedConsensus
-from repro.processors import (
-    Adversary,
-    CrashAdversary,
-    FalseAccusationAdversary,
-    FalseDetectionAdversary,
-    RandomAdversary,
-    SlowBleedAdversary,
-    SymbolCorruptionAdversary,
-)
+from repro.core import MultiValuedBroadcast
+from repro.processors import Adversary, make_attack, normalize_attack
+from repro.processors import ATTACKS as _ATTACKS
+from repro.service import ConsensusService, RunSpec
 
-#: Attack strategies selectable from the CLI; each takes the faulty list.
-ATTACKS = {
-    "none": lambda faulty, seed: Adversary(faulty),
-    "corrupt": lambda faulty, seed: SymbolCorruptionAdversary(faulty),
-    "crash": lambda faulty, seed: CrashAdversary(faulty),
-    "false-accuse": lambda faulty, seed: FalseAccusationAdversary(faulty),
-    "false-detect": lambda faulty, seed: FalseDetectionAdversary(faulty),
-    "slow-bleed": lambda faulty, seed: SlowBleedAdversary(faulty),
-    "random": lambda faulty, seed: RandomAdversary(faulty, seed=seed),
-}
+
+def __getattr__(name: str):
+    """Deprecated alias: ``repro.cli.ATTACKS`` moved to the canonical
+    registry at :data:`repro.processors.ATTACKS` (one warning per
+    process; note the canonical registry maps names to
+    :class:`~repro.processors.AttackEntry` records, not to the old
+    ``(faulty, seed)`` factories)."""
+    if name != "ATTACKS":
+        raise AttributeError(
+            "module %r has no attribute %r" % (__name__, name)
+        )
+    if not getattr(__getattr__, "_warned", False):
+        __getattr__._warned = True
+        warnings.warn(
+            "repro.cli.ATTACKS is deprecated; use repro.processors.ATTACKS",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return _ATTACKS
 
 
 def _parse_value(text: str, l_bits: int) -> int:
@@ -62,30 +73,42 @@ def _parse_value(text: str, l_bits: int) -> int:
     return value
 
 
+def _parse_faulty(args) -> Optional[Sequence[int]]:
+    """Explicit ``--faulty`` pids, or None for the attack registry's
+    attack-specific default set (chosen so the attack bites)."""
+    if not args.faulty:
+        return None
+    return [int(x) for x in args.faulty.split(",")]
+
+
+def _make_spec(args) -> RunSpec:
+    """The one declarative run description every subcommand shares."""
+    faulty = _parse_faulty(args)
+    return RunSpec(
+        n=args.n,
+        t=args.t,
+        l_bits=args.l_bits,
+        d_bits=getattr(args, "d_bits", None),
+        backend=args.backend,
+        attack=args.attack,
+        seed=args.seed,
+        faulty=tuple(faulty) if faulty is not None else None,
+    )
+
+
 def _make_adversary(args) -> Adversary:
     t = args.t if args.t is not None else (args.n - 1) // 3
-    # Default to low pids: the deterministic P_match search favours them,
-    # which is the interesting (P_match-infiltrating) case for attacks.
-    faulty = (
-        [int(x) for x in args.faulty.split(",")]
-        if args.faulty
-        else list(range(t))
+    return make_attack(
+        args.attack, args.n, t, args.l_bits,
+        seed=args.seed, faulty=_parse_faulty(args),
     )
-    if args.attack == "none":
-        faulty = faulty if args.faulty else []
-    return ATTACKS[args.attack](faulty, args.seed)
 
 
 def cmd_consensus(args) -> int:
-    config = ConsensusConfig.create(
-        n=args.n, t=args.t, l_bits=args.l_bits, d_bits=args.d_bits,
-        backend=args.backend,
-    )
-    adversary = _make_adversary(args)
+    service = ConsensusService(_make_spec(args))
     value = _parse_value(args.value, args.l_bits)
-    protocol = MultiValuedConsensus(config, adversary=adversary)
-    result = protocol.run([value] * args.n)
-    print(consensus_report(result, config))
+    result = service.run(value)
+    print(consensus_report(result, service.config))
     return 0 if result.consistent and result.valid else 1
 
 
@@ -198,10 +221,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--backend", default="ideal",
                        choices=["ideal", "phase_king", "eig"],
                        help="Broadcast_Single_Bit backend")
-        p.add_argument("--attack", default="none", choices=sorted(ATTACKS),
-                       help="Byzantine strategy for the faulty processors")
+        p.add_argument("--attack", default="none", type=normalize_attack,
+                       choices=sorted(_ATTACKS),
+                       help="Byzantine strategy for the faulty processors "
+                       "(canonical registry names; hyphenated spellings "
+                       "like slow-bleed are normalized)")
         p.add_argument("--faulty", default="",
-                       help="comma-separated faulty pids (default: top t)")
+                       help="comma-separated faulty pids (default: the "
+                       "attack's registry-chosen set)")
         p.add_argument("--seed", type=int, default=0,
                        help="seed for randomised attacks")
         if with_value:

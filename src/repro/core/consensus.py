@@ -1,30 +1,32 @@
 """The full L-bit consensus algorithm: ``L/D`` generations of Algorithm 1
 with memory across generations (the shared diagnosis graph).
 
-This is the library's primary entry point::
+:class:`MultiValuedConsensus` holds the state of *one* consensus
+instance — the diagnosis graph, the metered network, the
+``Broadcast_Single_Bit`` backend — and delegates its execution to the
+service layer's engine (:mod:`repro.service.engine`).  It remains the
+one-shot compatibility entry point::
 
     config = ConsensusConfig.create(n=7, t=2, l_bits=256)
     result = MultiValuedConsensus(config).run(inputs)
 
-The orchestrator owns the objects shared across generations — the
-diagnosis graph, the metered network, the ``Broadcast_Single_Bit``
-backend — and assembles the per-generation symbol decisions back into an
-L-bit value per fault-free processor.
+For anything beyond a single run, prefer the service layer
+(:class:`~repro.service.service.ConsensusService`), which is constructed
+once per configuration and amortizes the code tables, part splits and
+batched encodes across many instances::
+
+    from repro import ConsensusService
+
+    service = ConsensusService(config)
+    results = service.run_many([inputs_a, inputs_b, inputs_c])
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.core.config import ConsensusConfig
-from repro.core.generation import GenerationProtocol
-from repro.core.result import (
-    ConsensusResult,
-    GenerationOutcome,
-    GenerationResult,
-)
+from repro.core.result import ConsensusResult
 from repro.graphs.diagnosis_graph import DiagnosisGraph
 from repro.network.metrics import BitMeter
 from repro.network.simulator import SyncNetwork
@@ -32,187 +34,18 @@ from repro.processors.adversary import Adversary, GlobalView
 from repro.utils.bits import pack_symbols, unpack_symbols
 
 
-class _FastGenerationState:
-    """Precomputed state for the cross-generation failure-free fast path.
-
-    All ``L/D`` generations are independent until a fault or an input
-    mismatch surfaces, so their codewords are produced by *one* batched
-    ``(generations * rows, k)`` generator matmat
-    (:meth:`~repro.coding.reed_solomon.ReedSolomonCode.encode_generations`)
-    and each all-match generation replays as a handful of batched
-    bookkeeping calls — one :class:`~repro.network.message.SymbolBatch`
-    for the symbol exchange, one ``broadcast_bits_many`` per broadcast
-    stage — with byte-identical metering to the scalar protocol.
-
-    A generation is *all-match* when every processor holds the same part
-    for it: then every M vector is all-true, ``P_match`` is the first
-    ``n - t`` processors, no outsider detects, and every processor's
-    checking-stage decode returns the common part.  Any other generation
-    (and every generation once the diagnosis graph loses an edge) is
-    replayed through the scalar :class:`GenerationProtocol`.
-
-    On top of :meth:`emit` (one generation's batched bookkeeping),
-    :meth:`emit_run` replays a *run* of consecutive all-match
-    generations with the per-generation machinery amortized away
-    entirely — the L → 2^22 regime's bookkeeping fast path.  An
-    all-match generation's delivered payloads are never read (each
-    processor decides its own part), so when the backend's honest
-    broadcasts are pure accounting
-    (:attr:`~repro.broadcast_bit.interface.BroadcastBackend.\
-constant_cost_honest`) and the network keeps no journal, each
-    generation reduces to one :meth:`SyncNetwork.charge_round` plus two
-    :meth:`charge_honest_instances` calls and a shared-dict generation
-    record, with meter ``Counter`` state, round clock and backend
-    instance counts byte-identical to the per-generation path.
-    """
-
-    def __init__(self, consensus: "MultiValuedConsensus",
-                 parts_by_pid: Dict[int, List[List[int]]]):
-        config = consensus.config
-        n = config.n
-        self.consensus = consensus
-        self.config = config
-        self.honest = sorted(range(n))  # fast path requires zero faults
-        self.p_match = tuple(range(n - config.t))
-        self.outsiders = list(range(n - config.t, n))
-        # Pairwise distinct part sequences; generation g is all-match iff
-        # every distinct sequence agrees on row g.
-        # parts_by_pid shares one list object per distinct input value, so
-        # identity is equality here.
-        distinct: List[List[List[int]]] = []
-        seen_ids = set()
-        for pid in range(n):
-            parts = parts_by_pid[pid]
-            if id(parts) not in seen_ids:
-                seen_ids.add(id(parts))
-                distinct.append(parts)
-        reference = distinct[0]
-        if len(distinct) == 1:
-            self.all_match = np.ones(config.generations, dtype=bool)
-        else:
-            self.all_match = np.array(
-                [
-                    all(
-                        other[g] == reference[g] for other in distinct[1:]
-                    )
-                    for g in range(config.generations)
-                ],
-                dtype=bool,
-            )
-        # The batched whole-run encode is deferred until the first
-        # all-match generation actually needs a codeword: with (say)
-        # fully differing honest inputs every generation replays scalar
-        # and the batch would be dead work.
-        self.parts = [tuple(part) for part in reference]
-        self._reference = reference
-        self._codewords: Optional[List[List[int]]] = None
-        # Complete-graph exchange edges, reused every generation.
-        off_diagonal = ~np.eye(n, dtype=bool)
-        self.senders, self.receivers = np.nonzero(off_diagonal)
-        self.sender_list = self.senders.tolist()
-        self.m_row = [1] * (n - 1)
-        #: Shared per-part decision records: all-match generations with
-        #: the same part reuse one decisions dict (read-only downstream).
-        self._decisions_cache: Dict[tuple, Dict[int, tuple]] = {}
-
-    def emit(self, g: int) -> GenerationResult:
-        """Replay generation ``g``'s failure-free bookkeeping, batched."""
-        consensus = self.consensus
-        config = self.config
-        if self._codewords is None:
-            # One (generations * rows, k) generator matmat for the whole
-            # run, on first use.
-            self._codewords = consensus.code.encode_generations(
-                self._reference
-            )
-        codeword = self._codewords[g]
-        tag = "gen%d" % g
-        consensus.network.send_many(
-            self.senders,
-            self.receivers,
-            [codeword[s] for s in self.sender_list],
-            bits=config.symbol_bits,
-            tag="%s.matching.symbols" % tag,
-        )
-        consensus.network.deliver_arrays()
-        consensus.backend.broadcast_bits_many(
-            [(i, self.m_row) for i in range(config.n)],
-            "%s.matching.M" % tag,
-        )
-        if self.outsiders:
-            consensus.backend.broadcast_bits_many(
-                [(q, [0]) for q in self.outsiders],
-                "%s.checking.detected" % tag,
-            )
-        part = self.parts[g]
-        return GenerationResult(
-            generation=g,
-            outcome=GenerationOutcome.DECIDED_CHECKING,
-            decisions=self._decisions_for(part),
-            p_match=self.p_match,
-        )
-
-    def _decisions_for(self, part: tuple) -> Dict[int, tuple]:
-        """One decisions dict per distinct part, shared across records."""
-        decisions = self._decisions_cache.get(part)
-        if decisions is None:
-            decisions = {pid: part for pid in self.honest}
-            self._decisions_cache[part] = decisions
-        return decisions
-
-    def emit_run(self, g0: int, g1: int) -> List[GenerationResult]:
-        """Replay generations ``[g0, g1)`` (all all-match) in bulk.
-
-        When the backend charges honest broadcasts in O(1) and the
-        network keeps no journal, each generation is three accounting
-        calls — the symbol round, the M broadcasts, the Detected
-        broadcasts — and a shared-dict record: no payload encode, no
-        per-edge validation, no batch objects.  Otherwise (Phase-King
-        and friends, or a journalling network) every generation goes
-        through :meth:`emit`, which runs the real broadcast protocol.
-        """
-        consensus = self.consensus
-        config = self.config
-        network = consensus.network
-        backend = consensus.backend
-        if not backend.constant_cost_honest or network.journal is not None:
-            return [self.emit(g) for g in range(g0, g1)]
-        n = config.n
-        edges = n * (n - 1)
-        m_instances = n * (n - 1)  # n sources, n - 1 M bits each
-        detected_instances = len(self.outsiders)
-        results: List[GenerationResult] = []
-        for g in range(g0, g1):
-            tag = "gen%d" % g
-            network.charge_round(
-                "%s.matching.symbols" % tag, edges, config.symbol_bits
-            )
-            backend.charge_honest_instances(
-                "%s.matching.M" % tag, m_instances
-            )
-            if detected_instances:
-                backend.charge_honest_instances(
-                    "%s.checking.detected" % tag, detected_instances
-                )
-            results.append(
-                GenerationResult(
-                    generation=g,
-                    outcome=GenerationOutcome.DECIDED_CHECKING,
-                    decisions=self._decisions_for(self.parts[g]),
-                    p_match=self.p_match,
-                )
-            )
-        return results
-
-
 class MultiValuedConsensus:
     """Error-free multi-valued Byzantine consensus (Liang & Vaidya 2011).
 
-    The library's primary entry point: owns the cross-generation state
-    (diagnosis graph, metered network, ``Broadcast_Single_Bit``
-    backend), runs ``⌈L/D⌉`` generations of Algorithm 1 and reassembles
-    the per-generation symbol decisions into one L-bit value per
-    fault-free processor.
+    Owns the cross-generation state of one instance (diagnosis graph,
+    metered network, ``Broadcast_Single_Bit`` backend), runs ``⌈L/D⌉``
+    generations of Algorithm 1 and reassembles the per-generation symbol
+    decisions into one L-bit value per fault-free processor.  The
+    execution itself lives in
+    :func:`repro.service.engine.execute_consensus`; this class is the
+    compatibility shim that builds per-run state and delegates, while
+    :class:`~repro.service.service.ConsensusService` drives the same
+    engine with state shared across many instances.
 
     Two toggles select between the observationally identical engines
     (see ``docs/ARCHITECTURE.md`` for the contract):
@@ -247,6 +80,9 @@ class MultiValuedConsensus:
         meter: Optional[BitMeter] = None,
         batch_generations: bool = True,
         vectorized: bool = True,
+        code=None,
+        parts_cache: Optional[Dict[int, List[List[int]]]] = None,
+        encode_cache: Optional[Dict[tuple, List[List[int]]]] = None,
     ):
         """Set up one deployment.
 
@@ -257,6 +93,18 @@ class MultiValuedConsensus:
             meter: shared :class:`BitMeter`; default a fresh one.
             batch_generations: see the class docstring.
             vectorized: see the class docstring.
+            code: a prebuilt code for this config
+                (``config.make_code()``); the service layer passes one
+                shared instance so its (deterministic, content-keyed)
+                interpolation caches warm across instances.  Default:
+                build a fresh one.
+            parts_cache: shared content-keyed cache of
+                :meth:`parts_of` splits (value -> parts); entries are
+                shared read-only across instances.  Default: private.
+            encode_cache: shared cache of whole-run batched encodes
+                keyed by the run's part tuples; the service pre-fills
+                it with one cross-instance matmat.  Default: ``None``
+                (encode locally).
         """
         self.config = config
         #: When True (the default), failure-free generations run through
@@ -283,7 +131,13 @@ class MultiValuedConsensus:
         self.meter = meter if meter is not None else BitMeter()
         self.graph = DiagnosisGraph(config.n)
         self.network = SyncNetwork(config.n, self.meter)
-        self.code = config.make_code()
+        self.code = code if code is not None else config.make_code()
+        self._parts_cache: Dict[int, List[List[int]]] = (
+            parts_cache if parts_cache is not None else {}
+        )
+        #: Optional service-shared whole-run encode cache (see
+        #: :class:`repro.service.engine._FastGenerationState`).
+        self.encode_cache = encode_cache
         self._view_extras: Dict[str, object] = {}
         self.backend = config.make_backend(
             self.meter, self.adversary, self._make_view
@@ -312,6 +166,19 @@ class MultiValuedConsensus:
         return [
             symbols[g * k:(g + 1) * k] for g in range(config.generations)
         ]
+
+    def parts_for(self, value: int) -> List[List[int]]:
+        """Content-keyed :meth:`parts_of`: one split per distinct value.
+
+        The cache may be shared across instances by the service layer;
+        the returned list (one object per value) is shared and must be
+        treated as read-only.
+        """
+        parts = self._parts_cache.get(value)
+        if parts is None:
+            parts = self.parts_of(value)
+            self._parts_cache[value] = parts
+        return parts
 
     def value_of(self, parts: Sequence[Sequence[int]]) -> int:
         """Inverse of :meth:`parts_of` (drops the padding)."""
@@ -354,141 +221,8 @@ class MultiValuedConsensus:
         diagnosis graph, the meter, the round clock), so run it once;
         build a fresh instance per execution.
         """
-        config = self.config
-        if len(inputs) != config.n:
-            raise ValueError(
-                "expected %d inputs, got %d" % (config.n, len(inputs))
-            )
-        honest = [
-            pid for pid in range(config.n)
-            if not self.adversary.controls(pid)
-        ]
+        # Imported lazily: repro.service imports this module at package
+        # init, so a top-level import here would be circular.
+        from repro.service.engine import execute_consensus
 
-        self._view_extras = {
-            "code": self.code,
-            "config": config,
-            "diag_graph": self.graph,
-            "parts_of": self.parts_of,
-            "l_bits": config.l_bits,
-        }
-
-        effective: Dict[int, int] = {}
-        for pid in range(config.n):
-            value = inputs[pid]
-            if self.adversary.controls(pid):
-                value = self.adversary.input_value(
-                    pid, value, self._make_view()
-                )
-                value %= 1 << config.l_bits
-            effective[pid] = value
-        # Honest processors holding the same value derive the same symbol
-        # view; key the (expensive, deterministic) split by content so the
-        # common all-equal-inputs case splits once, not n times.
-        parts_cache: Dict[int, List[List[int]]] = {}
-        parts_by_pid: Dict[int, List[List[int]]] = {}
-        for pid in range(config.n):
-            value = effective[pid]
-            if value not in parts_cache:
-                parts_cache[value] = self.parts_of(value)
-            parts_by_pid[pid] = parts_cache[value]
-        default_parts = self.parts_of(config.default_value)
-
-        generation_results: List[GenerationResult] = []
-        decided_parts: Dict[int, List[Sequence[int]]] = {
-            pid: [] for pid in honest
-        }
-        default_used = False
-
-        # Cross-generation batching: with no faulty processors and a
-        # complete diagnosis graph, generations are independent, so their
-        # codewords come from one batched encode and each all-match
-        # generation replays as a few batched bookkeeping calls.  Any
-        # generation that could deviate — differing parts, a Byzantine
-        # processor, a removed edge — runs the scalar per-generation
-        # protocol instead (and once an edge is removed the fast path
-        # stays off for the rest of the run).
-        fast: Optional[_FastGenerationState] = None
-        if (
-            self.batch_generations
-            and self.backend.error_free
-            and not self.adversary.faulty
-            and self.graph.is_complete()
-        ):
-            fast = _FastGenerationState(self, parts_by_pid)
-
-        g = 0
-        while g < config.generations:
-            self._view_extras["generation"] = g
-            if (
-                fast is not None
-                and fast.all_match[g]
-                and self.graph.is_complete()
-            ):
-                # Maximal run of consecutive all-match generations: no
-                # protocol executes inside it (so the graph cannot
-                # change), and the whole run replays as bulk
-                # bookkeeping.  Fast generations always decide at the
-                # checking stage, never on the default.
-                g_end = g + 1
-                while (
-                    g_end < config.generations and fast.all_match[g_end]
-                ):
-                    g_end += 1
-                run_results = fast.emit_run(g, g_end)
-                generation_results.extend(run_results)
-                for result in run_results:
-                    for pid in honest:
-                        decided_parts[pid].append(result.decisions[pid])
-                g = g_end
-                continue
-            protocol = GenerationProtocol(
-                config=config,
-                code=self.code,
-                network=self.network,
-                graph=self.graph,
-                backend=self.backend,
-                adversary=self.adversary,
-                generation=g,
-                view_provider=self._make_view,
-                vectorized=self.vectorized,
-            )
-            result = protocol.run(
-                {pid: parts_by_pid[pid][g] for pid in range(config.n)},
-                default_parts[g],
-            )
-            generation_results.append(result)
-            if result.outcome is GenerationOutcome.NO_MATCH_DEFAULT:
-                # Line 1(f): the whole algorithm terminates on the default.
-                default_used = True
-                break
-            for pid in honest:
-                decided_parts[pid].append(result.decisions[pid])
-            g += 1
-
-        decisions: Dict[int, int] = {}
-        if default_used:
-            for pid in honest:
-                decisions[pid] = config.default_value
-        else:
-            # Identical per-generation decisions reassemble to the same
-            # value; share the packing across fault-free processors.
-            value_cache: Dict[tuple, int] = {}
-            for pid in honest:
-                key = tuple(tuple(part) for part in decided_parts[pid])
-                if key not in value_cache:
-                    value_cache[key] = self.value_of(decided_parts[pid])
-                decisions[pid] = value_cache[key]
-
-        honest_inputs = [inputs[pid] for pid in honest]
-        honest_inputs_equal = len(set(honest_inputs)) == 1
-        return ConsensusResult(
-            decisions=decisions,
-            generation_results=generation_results,
-            meter=self.meter.snapshot(),
-            diagnosis_count=sum(
-                1 for r in generation_results if r.diagnosis_performed
-            ),
-            default_used=default_used,
-            honest_inputs_equal=honest_inputs_equal,
-            common_input=honest_inputs[0] if honest_inputs_equal else None,
-        )
+        return execute_consensus(self, inputs)

@@ -16,6 +16,13 @@ communication-complexity accounting, matching the paper's definition
 from repro.processors.adaptive import AdaptiveAdversary
 from repro.processors.adversary import Adversary, GlobalView
 from repro.processors.composite import CompositeAdversary
+from repro.processors.registry import (
+    ATTACKS,
+    FAULT_GRID_ATTACKS,
+    AttackEntry,
+    make_attack,
+    normalize_attack,
+)
 from repro.processors.byzantine import (
     CollidingInputAdversary,
     CrashAdversary,
@@ -30,6 +37,11 @@ from repro.processors.byzantine import (
 )
 
 __all__ = [
+    "ATTACKS",
+    "FAULT_GRID_ATTACKS",
+    "AttackEntry",
+    "make_attack",
+    "normalize_attack",
     "Adversary",
     "AdaptiveAdversary",
     "CompositeAdversary",

@@ -1,0 +1,144 @@
+"""Pluggable batch executors for :class:`ConsensusService.run_many`.
+
+An :class:`Executor` receives the service and the coerced
+:class:`~repro.service.spec.InstanceSpec` batch and returns one
+:class:`~repro.core.result.ConsensusResult` per instance, in order.
+
+* :class:`SerialExecutor` — the in-process reference: delegates straight
+  to the service's local batching path.
+* :class:`ProcessExecutor` — shards the batch over ``multiprocessing``
+  worker processes.  Workers receive only declarative state (the
+  service's :class:`~repro.service.spec.RunSpec` plus their shard of
+  instance specs), rebuild an identical :class:`ConsensusService` from
+  it, and batch their shard exactly like the serial path — so results,
+  including stateful seeded adversaries reconstructed from
+  ``(attack, seed, faulty)``, are byte-identical to serial execution
+  whatever the shard boundaries.
+
+Instances are deterministic work, so sharding is static (contiguous
+chunks, one per worker) rather than work-stealing: no queue traffic, and
+each shard amortizes its own template/encode caches over the longest
+possible run of instances.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import List, Sequence, Tuple
+
+from repro.core.result import ConsensusResult
+from repro.service.spec import InstanceSpec, RunSpec
+
+
+def _usable_cpus() -> int:
+    """CPUs this process may actually use (cgroup/taskset aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+class Executor:
+    """Strategy interface: run a coerced batch for a service."""
+
+    def run(
+        self, service, specs: Sequence[InstanceSpec]
+    ) -> List[ConsensusResult]:
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """In-process execution (the default and the byte-identity
+    reference for every other executor)."""
+
+    def run(self, service, specs):
+        return service._run_many_local(list(specs))
+
+
+def _run_shard(
+    payload: Tuple[RunSpec, bool, Tuple[InstanceSpec, ...]]
+) -> List[ConsensusResult]:
+    """Worker entry point: rebuild the service, batch the shard.
+
+    Module-level so it imports (rather than pickles) under the spawn
+    start method.
+    """
+    # Imported here, not at module top: the worker may be a spawned
+    # interpreter where importing via the function's module is the
+    # canonical path and top-level circularity must stay impossible.
+    from repro.service.service import ConsensusService
+
+    spec, reuse_results, instances = payload
+    service = ConsensusService(spec, reuse_results=reuse_results)
+    return service._run_many_local(list(instances))
+
+
+class ProcessExecutor(Executor):
+    """Shard a batch over worker processes.
+
+    Args:
+        shards: worker process count; default the process's usable CPU
+            count (``os.sched_getaffinity`` where available, so cgroup
+            and taskset limits are respected), capped at the instance
+            count.
+        start_method: ``multiprocessing`` start method; default prefers
+            ``fork`` (cheap, shares the warm interpreter) and falls
+            back to ``spawn`` where fork is unavailable.
+
+    The deployment must be fully declarative: a config carrying a live
+    ``b_function`` callable cannot be shipped to workers and is
+    rejected.  Instance results (plain dataclasses) pickle back
+    unchanged.
+    """
+
+    def __init__(self, shards: int = None, start_method: str = None):
+        self.shards = shards
+        self.start_method = start_method
+
+    def _context(self):
+        method = self.start_method
+        if method is None:
+            methods = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in methods else "spawn"
+        return multiprocessing.get_context(method)
+
+    def run(self, service, specs):
+        specs = list(specs)
+        if not specs:
+            return []
+        if service.config.b_function is not None:
+            raise ValueError(
+                "ProcessExecutor cannot ship a config with a live "
+                "b_function callable to worker processes; use the "
+                "serial executor for this deployment"
+            )
+        shards = self.shards if self.shards is not None else _usable_cpus()
+        shards = max(1, min(shards or 1, len(specs)))
+        if shards == 1:
+            return service._run_many_local(specs)
+        bounds = [
+            (len(specs) * i) // shards for i in range(shards + 1)
+        ]
+        payloads = [
+            (
+                service.spec,
+                service.reuse_results,
+                tuple(specs[bounds[i]:bounds[i + 1]]),
+            )
+            for i in range(shards)
+            if bounds[i] < bounds[i + 1]
+        ]
+        ctx = self._context()
+        with ctx.Pool(processes=len(payloads)) as pool:
+            shard_results = pool.map(_run_shard, payloads)
+        results: List[ConsensusResult] = []
+        for shard in shard_results:
+            results.extend(shard)
+        return results
+
+
+#: Executors selectable by name in ``run_many(executor=...)``.
+EXECUTORS = {
+    "serial": SerialExecutor,
+    "process": ProcessExecutor,
+}

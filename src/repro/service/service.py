@@ -1,0 +1,433 @@
+"""The reusable consensus service: one deployment, many instances.
+
+``MultiValuedConsensus(config).run(values)`` rebuilds the code tables,
+the backend and the network on every call — fine for one run, wasteful
+for traffic.  :class:`ConsensusService` is constructed **once** per
+deployment and owns everything reusable across instances:
+
+* the code tables (one ``config.make_code()``, interpolation caches
+  warm across instances),
+* the content-keyed ``parts_of`` split cache (one split per distinct
+  value, however many instances hold it),
+* the cross-instance encode cache (one
+  ``(instances × generations × rows, k)`` generator matmat for a whole
+  batch's codewords),
+* the failure-free *result template* (the metering of an all-match run
+  is value-independent, so one real run prices every failure-free
+  instance of the batch).
+
+``run`` executes one instance; ``run_many`` executes a batch with
+cross-instance batching; ``submit``/``drain`` queue instances between
+batches.  Batches can be sharded over worker processes with a pluggable
+:class:`~repro.service.executors.Executor`.
+
+Every path is **byte-identical** to looping
+``MultiValuedConsensus(config).run(...)`` over the same instances — the
+per-instance :class:`~repro.core.result.ConsensusResult` records and
+meter snapshots match field for field, which
+``tests/test_service.py`` and ``benchmarks/bench_throughput.py
+--check`` assert for every registered attack.
+
+>>> from repro.core.config import ConsensusConfig
+>>> service = ConsensusService(ConsensusConfig.create(n=4, t=1, l_bits=16))
+>>> [r.value for r in service.run_many([0xAAAA, 0xBBBB])]
+[43690, 48059]
+>>> service.run(0xBEEF, attack="corrupt").error_free
+True
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import BACKENDS, ConsensusConfig
+from repro.core.consensus import MultiValuedConsensus
+from repro.core.result import ConsensusResult, GenerationResult
+from repro.network.metrics import BitMeter, MeterSnapshot
+from repro.processors.adversary import Adversary
+from repro.service.spec import InstanceSpec, RunSpec, WorkloadSpec
+
+#: Anything ``run_many``/``submit`` accepts as one instance: a spec, the
+#: per-processor input sequence, or a single value every processor holds.
+InstanceLike = Union[InstanceSpec, Sequence[int], int]
+
+
+class ConsensusService:
+    """A long-lived consensus deployment serving many instances.
+
+    Args:
+        config_or_spec: the deployment, as a validated
+            :class:`ConsensusConfig` or a declarative :class:`RunSpec`.
+        vectorized / batch_generations: engine toggles (see
+            :class:`MultiValuedConsensus`); when a :class:`RunSpec` is
+            given its toggles win.
+        reuse_results: when ``True`` (default), ``run_many`` prices
+            failure-free all-equal-input instances from one shared
+            template run (their metering is value-independent) instead
+            of executing each; results stay byte-identical.  ``False``
+            forces a real engine execution per instance — the escape
+            hatch for baselines and paranoid audits.
+    """
+
+    def __init__(
+        self,
+        config_or_spec: Union[ConsensusConfig, RunSpec],
+        vectorized: bool = True,
+        batch_generations: bool = True,
+        reuse_results: bool = True,
+    ):
+        if isinstance(config_or_spec, RunSpec):
+            self.spec = config_or_spec
+            self.config = config_or_spec.make_config()
+        elif isinstance(config_or_spec, ConsensusConfig):
+            self.config = config_or_spec
+            self.spec = RunSpec.from_config(
+                config_or_spec,
+                vectorized=vectorized,
+                batch_generations=batch_generations,
+            )
+        else:
+            raise TypeError(
+                "expected a ConsensusConfig or RunSpec, got %r"
+                % type(config_or_spec).__name__
+            )
+        self.reuse_results = reuse_results
+        #: One code instance for every run of this service; its
+        #: interpolation caches warm monotonically across instances.
+        self.code = self.config.make_code()
+        self._parts_cache: Dict[int, List[List[int]]] = {}
+        self._encode_cache: Dict[tuple, List[List[int]]] = {}
+        #: value-independent failure-free template (see _clone_result).
+        self._template: Optional[ConsensusResult] = None
+        self._decisions_cache: Dict[tuple, Dict[int, tuple]] = {}
+        self._pending: List[InstanceSpec] = []
+        backend_cls = BACKENDS[self.config.backend]
+        self._backend_error_free = bool(backend_cls.error_free)
+        self._constant_cost = bool(
+            getattr(backend_cls, "constant_cost_honest", False)
+        )
+
+    # -- engine construction ------------------------------------------------
+
+    def _make_engine(
+        self,
+        adversary: Adversary,
+        meter: Optional[BitMeter] = None,
+    ) -> MultiValuedConsensus:
+        """A fresh per-instance engine wired to this service's shared
+        read-only state (code tables, part splits, encode cache)."""
+        return MultiValuedConsensus(
+            self.config,
+            adversary=adversary,
+            meter=meter,
+            batch_generations=self.spec.batch_generations,
+            vectorized=self.spec.vectorized,
+            code=self.code,
+            parts_cache=self._parts_cache,
+            encode_cache=self._encode_cache,
+        )
+
+    def parts_for(self, value: int) -> List[List[int]]:
+        """The service-shared content-keyed ``parts_of`` split.
+
+        Splitting depends only on the config; the splitter engine is a
+        meterless throwaway wired to the same shared cache every
+        per-instance engine consults.
+        """
+        return self._splitter.parts_for(value)
+
+    @property
+    def _splitter(self) -> MultiValuedConsensus:
+        engine = getattr(self, "_splitter_engine", None)
+        if engine is None:
+            engine = self._make_engine(Adversary([]))
+            self._splitter_engine = engine
+        return engine
+
+    # -- single-instance API ------------------------------------------------
+
+    def run(
+        self,
+        inputs: InstanceLike,
+        attack: Optional[str] = None,
+        seed: Optional[int] = None,
+        faulty: Optional[Sequence[int]] = None,
+        adversary: Optional[Adversary] = None,
+        meter: Optional[BitMeter] = None,
+    ) -> ConsensusResult:
+        """Run one consensus instance.
+
+        ``inputs`` is the per-processor value sequence (or one value all
+        processors hold, or an :class:`InstanceSpec`).  ``attack``,
+        ``seed`` and ``faulty`` override the service spec's defaults via
+        the canonical attack registry; passing a live ``adversary``
+        object bypasses the registry entirely (such instances cannot be
+        described to a process executor).
+
+        Always executes a real engine — byte-identical to
+        ``MultiValuedConsensus(config, adversary).run(inputs)`` but with
+        the service's shared code tables and caches.
+        """
+        if adversary is not None and (
+            attack is not None or seed is not None or faulty is not None
+        ):
+            raise ValueError(
+                "attack/seed/faulty overrides conflict with a live "
+                "adversary object; pass one or the other"
+            )
+        instance = self._coerce(
+            inputs, attack=attack, seed=seed, faulty=faulty
+        )
+        if adversary is None:
+            adversary = instance.resolve(self.spec).make_adversary()
+        engine = self._make_engine(adversary, meter=meter)
+        return engine.run(list(instance.inputs))
+
+    # -- batch API ----------------------------------------------------------
+
+    def submit(
+        self,
+        inputs: InstanceLike,
+        attack: Optional[str] = None,
+        seed: Optional[int] = None,
+        faulty: Optional[Sequence[int]] = None,
+    ) -> int:
+        """Queue one instance for the next :meth:`drain`; returns its
+        ticket (the index of its result in the drained list)."""
+        self._pending.append(
+            self._coerce(inputs, attack=attack, seed=seed, faulty=faulty)
+        )
+        return len(self._pending) - 1
+
+    @property
+    def pending(self) -> int:
+        """Number of submitted instances awaiting :meth:`drain`."""
+        return len(self._pending)
+
+    def drain(self, executor=None) -> List[ConsensusResult]:
+        """Run every submitted instance (one :meth:`run_many` batch) and
+        return their results in submission (ticket) order."""
+        batch, self._pending = self._pending, []
+        return self.run_many(batch, executor=executor)
+
+    def run_many(
+        self,
+        instances: Sequence[InstanceLike],
+        executor=None,
+    ) -> List[ConsensusResult]:
+        """Run a batch of independent consensus instances.
+
+        Results arrive in instance order and are byte-identical — per
+        instance: decisions, generation records, meter snapshot — to
+        looping ``MultiValuedConsensus`` over the same instances.
+
+        Args:
+            instances: instance descriptions (:data:`InstanceLike`).
+            executor: ``None``/"serial" runs in-process with
+                cross-instance batching; "process" (or a configured
+                :class:`~repro.service.executors.ProcessExecutor`)
+                shards the batch over worker processes, each worker
+                batching its shard the same way.
+        """
+        specs = [self._coerce(instance) for instance in instances]
+        if executor is None:
+            return self._run_many_local(specs)
+        if isinstance(executor, str):
+            from repro.service.executors import EXECUTORS
+
+            try:
+                executor = EXECUTORS[executor]()
+            except KeyError:
+                raise ValueError(
+                    "unknown executor %r (choose from %s)"
+                    % (executor, sorted(EXECUTORS))
+                )
+        return executor.run(self, specs)
+
+    def run_workload(
+        self, workload: WorkloadSpec, executor=None
+    ) -> List[ConsensusResult]:
+        """Run a :class:`WorkloadSpec`'s instances (the workload's own
+        :class:`RunSpec` must match this service's deployment)."""
+        if workload.spec != self.spec:
+            raise ValueError(
+                "workload spec %r does not match this service's %r"
+                % (workload.spec, self.spec)
+            )
+        return self.run_many(workload.instances, executor=executor)
+
+    @classmethod
+    def execute(cls, workload: WorkloadSpec, executor=None):
+        """One-call convenience: build the service a workload describes
+        and run its instances."""
+        return cls(workload.spec).run_many(
+            workload.instances, executor=executor
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _coerce(
+        self,
+        inputs: InstanceLike,
+        attack: Optional[str] = None,
+        seed: Optional[int] = None,
+        faulty: Optional[Sequence[int]] = None,
+    ) -> InstanceSpec:
+        if isinstance(inputs, InstanceSpec):
+            if attack is not None or seed is not None or faulty is not None:
+                raise ValueError(
+                    "per-call attack/seed/faulty overrides conflict with "
+                    "an explicit InstanceSpec; set them on the spec"
+                )
+            return inputs
+        if isinstance(inputs, int):
+            inputs = (inputs,) * self.config.n
+        return InstanceSpec(
+            inputs=tuple(inputs),
+            attack=attack,
+            seed=seed,
+            faulty=tuple(faulty) if faulty is not None else None,
+        )
+
+    def _run_many_local(
+        self, specs: Sequence[InstanceSpec]
+    ) -> List[ConsensusResult]:
+        results: List[Optional[ConsensusResult]] = [None] * len(specs)
+        plan: List[Tuple[int, InstanceSpec, Adversary, bool]] = []
+        for idx, instance in enumerate(specs):
+            adversary = instance.resolve(self.spec).make_adversary()
+            clonable = (
+                self.reuse_results
+                and self.spec.batch_generations
+                and self._backend_error_free
+                and not adversary.faulty
+                and len(instance.inputs) == self.config.n
+                and len(set(instance.inputs)) == 1
+            )
+            plan.append((idx, instance, adversary, clonable))
+        self._prewarm_encodes(plan)
+        for idx, instance, adversary, clonable in plan:
+            if clonable:
+                results[idx] = self._run_or_clone(instance, adversary)
+            else:
+                engine = self._make_engine(adversary)
+                results[idx] = engine.run(list(instance.inputs))
+        return results  # type: ignore[return-value]
+
+    def _prewarm_encodes(self, plan) -> None:
+        """The cross-*instance* batched encode: one
+        ``(instances × generations × rows, k)`` generator matmat for
+        every distinct all-equal value whose engine run will need its
+        whole-run codewords, pre-filling the shared encode cache the
+        per-instance fast path consults.
+
+        Engines only encode whole runs when the failure-free fast path
+        actually replays payloads — an error-free backend whose honest
+        broadcasts are *not* pure accounting (e.g. ``phase_king``).
+        Under the ideal backend all-match generations reduce to
+        accounting and never touch a codeword, so there is nothing to
+        batch.
+        """
+        if not (
+            self.spec.batch_generations
+            and self._backend_error_free
+            and not self._constant_cost
+        ):
+            return
+        pending: List[int] = []
+        seen = set()
+        for idx, instance, adversary, clonable in plan:
+            if adversary.faulty or len(set(instance.inputs)) != 1:
+                continue
+            if clonable and self._template is not None:
+                continue  # will be cloned: no engine run, no encode
+            value = instance.inputs[0]
+            if value in seen:
+                continue
+            seen.add(value)
+            pending.append(value)
+            if clonable:
+                # Only the first clonable instance runs an engine (it
+                # becomes the template); later ones clone.
+                break
+        parts_lists = [self.parts_for(value) for value in pending]
+        missing = [
+            parts
+            for parts in parts_lists
+            if tuple(tuple(part) for part in parts) not in self._encode_cache
+        ]
+        if len(missing) < 2:
+            return  # a single run's lazy encode is already one matmat
+        flat = [part for parts in missing for part in parts]
+        codewords = self.code.encode_generations(flat)
+        offset = 0
+        for parts in missing:
+            count = len(parts)
+            key = tuple(tuple(part) for part in parts)
+            self._encode_cache[key] = codewords[offset:offset + count]
+            offset += count
+
+    def _run_or_clone(
+        self, instance: InstanceSpec, adversary: Adversary
+    ) -> ConsensusResult:
+        """Price a failure-free all-equal instance from the shared
+        template, building it with one real engine run on first need.
+
+        An all-match failure-free run's metering depends only on the
+        config (every charge is sized by ``n``, ``symbol_bits`` and the
+        generation count, never by payload values), so one template run
+        prices every such instance; decisions and per-generation records
+        are rebuilt from the instance's own value.  Byte-identity with a
+        looped one-shot run is asserted by the service test suite and
+        the throughput benchmark's ``--check`` gate.
+        """
+        if self._template is None:
+            engine = self._make_engine(adversary)
+            template = engine.run(list(instance.inputs))
+            expected_generations = self.config.generations
+            if (
+                template.default_used
+                or template.diagnosis_count
+                or len(template.generation_results) != expected_generations
+            ):
+                # The run deviated from the all-match shape (possible
+                # only for exotic backends); serve it as computed and
+                # keep executing instances for real.
+                self.reuse_results = False
+                return template
+            self._template = template
+            return template
+        return self._clone_result(instance.inputs[0])
+
+    def _clone_result(self, value: int) -> ConsensusResult:
+        template = self._template
+        assert template is not None
+        parts = self.parts_for(value)  # validates the value's range
+        n = self.config.n
+        records: List[GenerationResult] = []
+        for reference in template.generation_results:
+            part = tuple(parts[reference.generation])
+            decisions = self._decisions_cache.get(part)
+            if decisions is None:
+                decisions = {pid: part for pid in range(n)}
+                self._decisions_cache[part] = decisions
+            records.append(
+                GenerationResult(
+                    generation=reference.generation,
+                    outcome=reference.outcome,
+                    decisions=decisions,
+                    p_match=reference.p_match,
+                )
+            )
+        return ConsensusResult(
+            decisions={pid: value for pid in range(n)},
+            generation_results=records,
+            meter=MeterSnapshot(
+                bits_by_tag=dict(template.meter.bits_by_tag),
+                messages_by_tag=dict(template.meter.messages_by_tag),
+            ),
+            diagnosis_count=0,
+            default_used=False,
+            honest_inputs_equal=True,
+            common_input=value,
+        )

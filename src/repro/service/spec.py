@@ -1,0 +1,187 @@
+"""Declarative run descriptions shared by every driver.
+
+:class:`RunSpec` is *the* description of a deployment — ``n, t, L``,
+generation size, backend, attack, seed — that the CLI, the sweep
+drivers, the benchmarks and the service layer all consume, replacing the
+three ad-hoc parameter paths those callers used to keep.  It is a plain
+frozen dataclass of picklable fields, so it crosses process boundaries
+unchanged: the process executor ships specs (never live adversary or
+backend objects) to its workers, which rebuild identical deployments via
+the canonical attack registry.
+
+:class:`InstanceSpec` describes one consensus instance of a workload
+(the per-processor inputs plus any per-instance attack override), and
+:class:`WorkloadSpec` bundles a shared :class:`RunSpec` with many
+instances — the unit :meth:`ConsensusService.run_many
+<repro.service.service.ConsensusService.run_many>` and the executors
+operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple
+
+from repro.core.config import ConsensusConfig
+from repro.processors.adversary import Adversary
+from repro.processors.registry import make_attack, normalize_attack
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One deployment: parameters, backend, attack and seed.
+
+    Everything here is declarative and picklable; live objects (config,
+    code, adversary) are built on demand via :meth:`make_config` and
+    :meth:`make_adversary`.  ``t`` and ``d_bits`` default to the
+    paper-derived choices (maximum tolerable ``t``, paper-optimal
+    feasible ``D``) exactly like :meth:`ConsensusConfig.create`.
+    """
+
+    n: int
+    l_bits: int
+    t: Optional[int] = None
+    d_bits: Optional[int] = None
+    backend: str = "ideal"
+    attack: str = "none"
+    seed: int = 0
+    #: Explicit faulty pids; ``None`` selects the attack's default set.
+    faulty: Optional[Tuple[int, ...]] = None
+    default_value: int = 0
+    kappa: int = 16
+    allow_t_ge_n3: bool = False
+    #: Engine toggles (see :class:`MultiValuedConsensus`).
+    vectorized: bool = True
+    batch_generations: bool = True
+
+    def __post_init__(self):
+        object.__setattr__(self, "attack", normalize_attack(self.attack))
+        if self.faulty is not None:
+            object.__setattr__(self, "faulty", tuple(self.faulty))
+
+    @property
+    def resolved_t(self) -> int:
+        """``t``, defaulting to the maximum tolerable ``⌊(n-1)/3⌋``."""
+        return self.t if self.t is not None else (self.n - 1) // 3
+
+    def make_config(self) -> ConsensusConfig:
+        """The validated :class:`ConsensusConfig` this spec describes."""
+        return ConsensusConfig.create(
+            n=self.n,
+            l_bits=self.l_bits,
+            t=self.t,
+            d_bits=self.d_bits,
+            backend=self.backend,
+            default_value=self.default_value,
+            kappa=self.kappa,
+            allow_t_ge_n3=self.allow_t_ge_n3,
+        )
+
+    def make_adversary(self) -> Adversary:
+        """A fresh adversary for this spec's attack, via the canonical
+        registry — deterministic, so every call (in any process) yields
+        behaviourally identical Byzantine strategies."""
+        return make_attack(
+            self.attack,
+            self.n,
+            self.resolved_t,
+            self.l_bits,
+            seed=self.seed,
+            faulty=self.faulty,
+        )
+
+    @classmethod
+    def from_config(
+        cls,
+        config: ConsensusConfig,
+        attack: str = "none",
+        seed: int = 0,
+        faulty: Optional[Sequence[int]] = None,
+        vectorized: bool = True,
+        batch_generations: bool = True,
+    ) -> "RunSpec":
+        """Describe an existing config (``b_function`` excepted — that
+        field is a live callable and cannot be described declaratively;
+        configs carrying one stay usable in-process but cannot cross to
+        executor workers)."""
+        return cls(
+            n=config.n,
+            l_bits=config.l_bits,
+            t=config.t,
+            d_bits=config.d_bits,
+            backend=config.backend,
+            attack=attack,
+            seed=seed,
+            faulty=tuple(faulty) if faulty is not None else None,
+            default_value=config.default_value,
+            kappa=config.kappa,
+            allow_t_ge_n3=config.allow_t_ge_n3,
+            vectorized=vectorized,
+            batch_generations=batch_generations,
+        )
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """One consensus instance of a workload.
+
+    ``attack``/``seed``/``faulty`` default to "inherit from the
+    workload's :class:`RunSpec`" (``attack=None``); an explicit value
+    overrides per instance, which is how a single ``run_many`` batch
+    mixes honest and adversarial instances.
+    """
+
+    #: Exactly ``n`` per-processor input values.
+    inputs: Tuple[int, ...]
+    attack: Optional[str] = None
+    seed: Optional[int] = None
+    faulty: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        if self.attack is not None:
+            object.__setattr__(self, "attack", normalize_attack(self.attack))
+        if self.faulty is not None:
+            object.__setattr__(self, "faulty", tuple(self.faulty))
+
+    def resolve(self, spec: RunSpec) -> RunSpec:
+        """The effective :class:`RunSpec` of this instance under
+        ``spec`` (per-instance overrides applied)."""
+        overrides = {}
+        if self.attack is not None:
+            overrides["attack"] = self.attack
+        if self.seed is not None:
+            overrides["seed"] = self.seed
+        if self.faulty is not None:
+            overrides["faulty"] = self.faulty
+        return replace(spec, **overrides) if overrides else spec
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A batch of independent consensus instances sharing one deployment.
+
+    The unit of cross-instance batching: every instance shares the
+    :class:`RunSpec`'s config (hence code tables and caches), and the
+    executors shard the ``instances`` tuple across workers.
+    """
+
+    spec: RunSpec
+    instances: Tuple[InstanceSpec, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "instances", tuple(self.instances))
+
+    @classmethod
+    def all_equal(
+        cls, spec: RunSpec, values: Sequence[int], **overrides
+    ) -> "WorkloadSpec":
+        """One failure-free-shaped instance per value in ``values``,
+        each with all ``n`` processors holding that value."""
+        return cls(
+            spec=spec,
+            instances=tuple(
+                InstanceSpec(inputs=(value,) * spec.n, **overrides)
+                for value in values
+            ),
+        )

@@ -23,7 +23,8 @@ import time
 import numpy as np
 import pytest
 
-from repro.analysis.sweeps import ATTACKS, make_attack, sweep_faults
+from repro.analysis.sweeps import sweep_faults
+from repro.processors import FAULT_GRID_ATTACKS, make_attack
 from repro.core.config import ConsensusConfig
 from repro.core.consensus import MultiValuedConsensus
 from repro.graphs.cliques import find_clique, find_clique_matrix
@@ -129,7 +130,7 @@ class TestRegisteredAttackEquivalence:
     """Every registry attack, equal inputs, n ∈ {4, 7, 10}."""
 
     @pytest.mark.parametrize("n", [4, 7, 10])
-    @pytest.mark.parametrize("attack", sorted(ATTACKS))
+    @pytest.mark.parametrize("attack", sorted(FAULT_GRID_ATTACKS))
     def test_attack(self, n, attack):
         config = ConsensusConfig.create(n=n, l_bits=512)
         value = random.Random(31 * n).getrandbits(512)
@@ -290,7 +291,7 @@ class TestVectorizedDispatch:
 class TestSweepFaults:
     def test_grid_rows_and_bounds(self):
         points = sweep_faults([7], 1 << 10)
-        assert len(points) == len(ATTACKS)
+        assert len(points) == len(FAULT_GRID_ATTACKS)
         for point in points:
             assert point.t == 2
             assert point.diagnosis_count <= point.diagnosis_bound

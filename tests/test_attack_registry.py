@@ -1,0 +1,182 @@
+"""The canonical attack registry and its deprecation shims."""
+
+import warnings
+
+import pytest
+
+import repro.cli as cli_module
+from repro.analysis import sweeps
+from repro.processors import (
+    ATTACKS,
+    FAULT_GRID_ATTACKS,
+    Adversary,
+    CrashAdversary,
+    FalseDetectionAdversary,
+    RandomAdversary,
+    SlowBleedAdversary,
+    StagedEquivocationAdversary,
+    SymbolCorruptionAdversary,
+    TrustPoisoningAdversary,
+    make_attack,
+    normalize_attack,
+)
+
+
+class TestRegistryShape:
+    def test_canonical_names(self):
+        assert sorted(ATTACKS) == [
+            "corrupt", "crash", "equivocate", "false_accuse",
+            "false_detect", "none", "random", "slow_bleed", "trust_poison",
+        ]
+
+    def test_fault_grid_is_pinned_subset(self):
+        assert set(FAULT_GRID_ATTACKS) <= set(ATTACKS)
+        # the six attacks the tracked benchmark bit tables are keyed to
+        assert sorted(FAULT_GRID_ATTACKS) == [
+            "corrupt", "crash", "equivocate", "false_detect",
+            "slow_bleed", "trust_poison",
+        ]
+
+    def test_only_none_is_not_byzantine(self):
+        assert [name for name, e in ATTACKS.items() if not e.byzantine] == (
+            ["none"]
+        )
+
+    def test_entries_have_summaries(self):
+        assert all(entry.summary for entry in ATTACKS.values())
+
+
+class TestNormalization:
+    @pytest.mark.parametrize("raw,canonical", [
+        ("slow-bleed", "slow_bleed"),
+        ("Slow_Bleed", "slow_bleed"),
+        ("  false-detect ", "false_detect"),
+        ("FALSE-ACCUSE", "false_accuse"),
+        ("honest", "none"),
+        ("corrupt", "corrupt"),
+    ])
+    def test_spellings_fold(self, raw, canonical):
+        assert normalize_attack(raw) == canonical
+
+    def test_unknown_passes_through(self):
+        assert normalize_attack("nope") == "nope"
+
+    def test_make_attack_accepts_any_spelling(self):
+        a = make_attack("slow-bleed", 7, 2, 64)
+        b = make_attack("slow_bleed", 7, 2, 64)
+        assert type(a) is type(b) is SlowBleedAdversary
+        assert a.faulty == b.faulty
+
+
+class TestMakeAttack:
+    def test_unknown_name_lists_menu(self):
+        with pytest.raises(ValueError, match="unknown attack"):
+            make_attack("nope", 7, 2, 64)
+
+    def test_byzantine_attacks_need_t(self):
+        with pytest.raises(ValueError, match="needs t >= 1"):
+            make_attack("crash", 4, 0, 64)
+
+    def test_none_allows_t_zero(self):
+        adversary = make_attack("none", 4, 0, 64)
+        assert type(adversary) is Adversary
+        assert adversary.faulty == set()
+
+    def test_default_faulty_sets(self):
+        # Insider attacks default to low pids (inside the lexicographic
+        # P_match), outsider attacks to high pids — the historical
+        # sweeps defaults the tracked bit tables depend on.
+        n, t = 31, 10
+        assert make_attack("crash", n, t, 64).faulty == set(range(21, 31))
+        assert make_attack("false_detect", n, t, 64).faulty == (
+            set(range(21, 31))
+        )
+        assert make_attack("trust_poison", n, t, 64).faulty == (
+            set(range(21, 31))
+        )
+        assert make_attack("slow_bleed", n, t, 64).faulty == set(range(10))
+        assert make_attack("random", n, t, 64).faulty == set(range(10))
+        assert make_attack("false_accuse", n, t, 64).faulty == set(range(10))
+
+    def test_corrupt_default_matches_sweeps_shape(self):
+        adversary = make_attack("corrupt", 7, 2, 64)
+        assert type(adversary) is SymbolCorruptionAdversary
+        assert adversary.faulty == {0}
+        assert adversary.victims == {0: {6}}
+
+    def test_corrupt_explicit_faulty_is_plain(self):
+        adversary = make_attack("corrupt", 7, 2, 64, faulty=[0])
+        assert adversary.faulty == {0}
+        # explicit faulty means "corrupt every recipient", the CLI's
+        # historical semantics — not the registry's victimized default
+        assert adversary.victims == {0: None}
+
+    def test_equivocate_default(self):
+        adversary = make_attack("equivocate", 7, 2, 64)
+        assert type(adversary) is StagedEquivocationAdversary
+        assert adversary.faulty == {0}
+        assert adversary.deceived == {6}
+        assert adversary.alt_value == 0
+
+    def test_explicit_faulty_override(self):
+        adversary = make_attack("crash", 7, 2, 64, faulty=[2, 3])
+        assert type(adversary) is CrashAdversary
+        assert adversary.faulty == {2, 3}
+
+    def test_random_is_seeded_deterministically(self):
+        a = make_attack("random", 7, 2, 64, seed=5)
+        b = make_attack("random", 7, 2, 64, seed=5)
+        c = make_attack("random", 7, 2, 64, seed=6)
+        assert type(a) is RandomAdversary
+        assert a.rng.getstate() == b.rng.getstate()
+        assert a.rng.getstate() != c.rng.getstate()
+
+    def test_builders_return_fresh_objects(self):
+        assert make_attack("slow_bleed", 7, 2, 64) is not make_attack(
+            "slow_bleed", 7, 2, 64
+        )
+
+
+class TestDeprecatedShims:
+    def test_sweeps_attacks_shim_warns_once(self):
+        sweeps._DEPRECATION_WARNED.discard("ATTACKS")
+        with pytest.warns(DeprecationWarning, match="repro.processors"):
+            shim = sweeps.ATTACKS
+        # historical shape: (n, t, l_bits) factories over the grid set
+        assert sorted(shim) == sorted(FAULT_GRID_ATTACKS)
+        adversary = shim["false_detect"](7, 2, 64)
+        assert type(adversary) is FalseDetectionAdversary
+        assert adversary.faulty == {5, 6}
+        # second access is silent and identity-stable, like the module
+        # constant the shim replaces
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert sweeps.ATTACKS is shim
+
+    def test_sweeps_make_attack_shim_warns_once(self):
+        sweeps._DEPRECATION_WARNED.discard("make_attack")
+        with pytest.warns(DeprecationWarning, match="make_attack"):
+            shim = sweeps.make_attack
+        assert type(shim("trust_poison", 7, 2, 64)) is (
+            TrustPoisoningAdversary
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            sweeps.make_attack
+
+    def test_sweeps_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            sweeps.no_such_thing
+
+    def test_cli_attacks_shim_warns_once(self):
+        cli_module.__getattr__._warned = False
+        with pytest.warns(DeprecationWarning, match="repro.cli.ATTACKS"):
+            shim = cli_module.ATTACKS
+        assert shim is ATTACKS
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cli_module.ATTACKS
+
+    def test_cli_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            cli_module.no_such_thing

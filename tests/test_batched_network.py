@@ -532,19 +532,19 @@ class TestCrossGenerationBatchingEquivalence:
         config = ConsensusConfig.create(n=7, l_bits=512)
         consensus = MultiValuedConsensus(config)
         calls = []
-        from repro.core import consensus as consensus_module
+        from repro.service import engine as engine_module
 
-        original = consensus_module.GenerationProtocol
+        original = engine_module.GenerationProtocol
 
         class Spy(original):
             def __init__(self, *args, **kwargs):
                 calls.append(1)
                 super().__init__(*args, **kwargs)
 
-        consensus_module.GenerationProtocol = Spy
+        engine_module.GenerationProtocol = Spy
         try:
             result = consensus.run([7] * 7)
         finally:
-            consensus_module.GenerationProtocol = original
+            engine_module.GenerationProtocol = original
         assert result.error_free
         assert calls == []

@@ -17,6 +17,7 @@ import repro.graphs.cliques
 import repro.graphs.diagnosis_graph
 import repro.network.simulator
 import repro.processors.composite
+import repro.service.service
 
 MODULES = [
     repro.broadcast_bit.interface,
@@ -28,6 +29,7 @@ MODULES = [
     repro.graphs.diagnosis_graph,
     repro.network.simulator,
     repro.processors.composite,
+    repro.service.service,
 ]
 
 

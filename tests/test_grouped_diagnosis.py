@@ -19,7 +19,7 @@ import time
 
 import pytest
 
-from repro.analysis.sweeps import ATTACKS, make_attack
+from repro.processors import FAULT_GRID_ATTACKS, make_attack
 from repro.broadcast_bit.ideal import AccountedIdealBroadcast
 from repro.broadcast_bit.phase_king import PhaseKingBroadcast
 from repro.core.config import ConsensusConfig
@@ -77,7 +77,7 @@ class TestGroupedDiagnosisEquivalence:
     """Vectorized (grouped) vs forced-scalar, every attack, n ∈ {4,7,10}."""
 
     @pytest.mark.parametrize("n", [4, 7, 10])
-    @pytest.mark.parametrize("attack", sorted(ATTACKS))
+    @pytest.mark.parametrize("attack", sorted(FAULT_GRID_ATTACKS))
     def test_attack(self, n, attack):
         config = ConsensusConfig.create(n=n, l_bits=512)
         value = random.Random(127 * n).getrandbits(512)

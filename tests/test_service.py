@@ -1,0 +1,408 @@
+"""Service layer: ConsensusService, specs, executors, batching fidelity.
+
+The load-bearing contract: everything ``run_many`` does — template
+reuse, shared caches, cross-instance encodes, process sharding — must be
+*observationally free*.  Per instance, the returned
+:class:`ConsensusResult` (decisions, generation records, meter snapshot)
+must equal the looped one-shot
+``MultiValuedConsensus(config, adversary).run(inputs)`` reference field
+for field, for every canonical attack, mixed workloads included.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.config import ConsensusConfig
+from repro.core.consensus import MultiValuedConsensus
+from repro.processors import ATTACKS
+from repro.service import (
+    ConsensusService,
+    InstanceSpec,
+    ProcessExecutor,
+    RunSpec,
+    SerialExecutor,
+    WorkloadSpec,
+)
+from repro.service import engine as engine_module
+
+
+def looped_reference(spec, instances):
+    """The pre-service API, one fresh deployment per instance."""
+    results = []
+    for instance in instances:
+        run_spec = instance.resolve(spec)
+        consensus = MultiValuedConsensus(
+            run_spec.make_config(), adversary=run_spec.make_adversary()
+        )
+        results.append(consensus.run(list(instance.inputs)))
+    return results
+
+
+def mixed_workload(spec, attack, values):
+    """Two adversarial all-equal instances, one honest all-equal, one
+    honest mixed-inputs instance."""
+    n = spec.n
+    return [
+        InstanceSpec(inputs=(values[0],) * n, attack=attack, seed=1),
+        InstanceSpec(inputs=(values[1],) * n, attack=attack, seed=2),
+        InstanceSpec(inputs=(values[2],) * n),
+        InstanceSpec(
+            inputs=tuple(
+                values[3] if pid % 2 else values[2] for pid in range(n)
+            )
+        ),
+    ]
+
+
+class TestRunManyEquivalence:
+    """run_many == looped one-shot, per instance, byte for byte."""
+
+    @pytest.mark.parametrize("attack", sorted(ATTACKS))
+    @pytest.mark.parametrize("n,l_bits", [(4, 64), (7, 256), (31, 256)])
+    def test_every_attack_vs_looped(self, attack, n, l_bits):
+        spec = RunSpec(n=n, l_bits=l_bits)
+        values = [(0xB5 * (i + 1)) % (1 << l_bits) for i in range(4)]
+        instances = mixed_workload(spec, attack, values)
+        reference = looped_reference(spec, instances)
+        results = ConsensusService(spec).run_many(instances)
+        assert results == reference
+        assert sum(r.total_bits for r in results) == sum(
+            r.total_bits for r in reference
+        )
+
+    @pytest.mark.parametrize("attack", sorted(ATTACKS))
+    def test_every_attack_process_executor(self, attack):
+        spec = RunSpec(n=7, l_bits=128)
+        values = [0x11 * (i + 3) for i in range(4)]
+        instances = mixed_workload(spec, attack, values)
+        reference = looped_reference(spec, instances)
+        results = ConsensusService(spec).run_many(
+            instances, executor=ProcessExecutor(shards=2)
+        )
+        assert results == reference
+
+    def test_stateful_seeded_adversaries_across_processes(self):
+        # RandomAdversary draws from a seeded RNG on every hook and
+        # SlowBleed plans against its own mutated state; workers must
+        # reconstruct both from (attack, seed, faulty) and replay the
+        # exact looped behaviour whatever the shard boundaries.
+        spec = RunSpec(n=7, l_bits=192)
+        instances = []
+        for i in range(8):
+            if i % 2:
+                instances.append(
+                    InstanceSpec(
+                        inputs=(0xACE + i,) * 7, attack="random", seed=i
+                    )
+                )
+            else:
+                instances.append(
+                    InstanceSpec(inputs=(0xACE + i,) * 7, attack="slow_bleed")
+                )
+        reference = looped_reference(spec, instances)
+        for shards in (2, 3, 8):
+            results = ConsensusService(spec).run_many(
+                instances, executor=ProcessExecutor(shards=shards)
+            )
+            assert results == reference, "shards=%d diverged" % shards
+
+    def test_duplicate_values_share_results(self):
+        spec = RunSpec(n=7, l_bits=128)
+        instances = [InstanceSpec(inputs=(0xF0F0,) * 7)] * 3 + [
+            InstanceSpec(inputs=(0x0F0F,) * 7)
+        ]
+        reference = looped_reference(spec, instances)
+        results = ConsensusService(spec).run_many(instances)
+        assert results == reference
+
+    def test_phase_king_backend_template(self):
+        # The template's value-independence claim must hold when honest
+        # broadcasts are *not* pure accounting (the protocol-simulating
+        # Phase-King backend really dispatches every broadcast).
+        spec = RunSpec(n=4, l_bits=64, backend="phase_king")
+        instances = [InstanceSpec(inputs=(v,) * 4) for v in (7, 9, 7, 13)]
+        reference = looped_reference(spec, instances)
+        results = ConsensusService(spec).run_many(instances)
+        assert results == reference
+
+    def test_cross_instance_encode_prewarm(self):
+        # With result reuse off under a non-constant-cost backend every
+        # instance executes, and the batch's whole-run codewords come
+        # from one cross-instance encode_generations matmat.
+        spec = RunSpec(n=4, l_bits=64, backend="phase_king")
+        service = ConsensusService(spec, reuse_results=False)
+        values = (3, 5, 8, 13)
+        instances = [InstanceSpec(inputs=(v,) * 4) for v in values]
+        results = service.run_many(instances)
+        assert results == looped_reference(spec, instances)
+        # one encode-cache entry per distinct value, filled by the
+        # prewarm before any instance ran
+        assert len(service._encode_cache) == len(set(values))
+
+
+class TestTemplateFastPath:
+    def count_engine_runs(self, monkeypatch):
+        calls = []
+        original = engine_module.execute_consensus
+
+        def spy(consensus, inputs):
+            calls.append(tuple(inputs))
+            return original(consensus, inputs)
+
+        monkeypatch.setattr(engine_module, "execute_consensus", spy)
+        return calls
+
+    def test_one_engine_run_prices_the_batch(self, monkeypatch):
+        calls = self.count_engine_runs(monkeypatch)
+        spec = RunSpec(n=7, l_bits=128)
+        service = ConsensusService(spec)
+        results = service.run_many([1, 2, 3, 4, 5])
+        assert len(results) == 5
+        assert [r.value for r in results] == [1, 2, 3, 4, 5]
+        assert len(calls) == 1  # the template; clones never execute
+        assert service._template is not None
+
+    def test_reuse_results_false_executes_every_instance(self, monkeypatch):
+        calls = self.count_engine_runs(monkeypatch)
+        service = ConsensusService(
+            RunSpec(n=7, l_bits=128), reuse_results=False
+        )
+        service.run_many([1, 2, 3])
+        assert len(calls) == 3
+
+    def test_adversarial_and_mixed_instances_execute(self, monkeypatch):
+        calls = self.count_engine_runs(monkeypatch)
+        spec = RunSpec(n=7, l_bits=128)
+        service = ConsensusService(spec)
+        instances = [
+            InstanceSpec(inputs=(5,) * 7),                      # template
+            InstanceSpec(inputs=(6,) * 7),                      # clone
+            InstanceSpec(inputs=(5,) * 7, attack="crash"),      # executes
+            InstanceSpec(inputs=tuple(range(7))),               # executes
+        ]
+        service.run_many(instances)
+        assert len(calls) == 3
+
+    def test_template_survives_across_batches(self, monkeypatch):
+        calls = self.count_engine_runs(monkeypatch)
+        service = ConsensusService(RunSpec(n=7, l_bits=128))
+        service.run_many([1, 2])
+        service.run_many([3, 4])
+        assert len(calls) == 1
+
+    def test_clone_meters_are_independent_copies(self):
+        service = ConsensusService(RunSpec(n=4, l_bits=64))
+        a, b = service.run_many([1, 2])
+        assert a.meter == b.meter
+        assert a.meter.bits_by_tag is not b.meter.bits_by_tag
+
+
+class TestSpecs:
+    def test_attack_name_normalized(self):
+        assert RunSpec(n=7, l_bits=64, attack="Slow-Bleed").attack == (
+            "slow_bleed"
+        )
+        assert InstanceSpec(inputs=(1,), attack="false-detect").attack == (
+            "false_detect"
+        )
+
+    def test_make_config_matches_create(self):
+        spec = RunSpec(n=7, l_bits=256, t=2, backend="phase_king")
+        assert spec.make_config() == ConsensusConfig.create(
+            n=7, l_bits=256, t=2, backend="phase_king"
+        )
+
+    def test_resolved_t_defaults_to_max(self):
+        assert RunSpec(n=10, l_bits=64).resolved_t == 3
+        assert RunSpec(n=10, l_bits=64, t=1).resolved_t == 1
+
+    def test_instance_overrides(self):
+        spec = RunSpec(n=7, l_bits=64, attack="crash", seed=1)
+        resolved = InstanceSpec(
+            inputs=(1,) * 7, attack="random", seed=9, faulty=(0, 1)
+        ).resolve(spec)
+        assert resolved.attack == "random"
+        assert resolved.seed == 9
+        assert resolved.faulty == (0, 1)
+        inherited = InstanceSpec(inputs=(1,) * 7).resolve(spec)
+        assert inherited is spec
+
+    def test_specs_pickle(self):
+        spec = RunSpec(n=7, l_bits=64, attack="slow_bleed")
+        workload = WorkloadSpec.all_equal(spec, [1, 2, 3])
+        assert pickle.loads(pickle.dumps(workload)) == workload
+
+    def test_workload_all_equal(self):
+        spec = RunSpec(n=4, l_bits=16)
+        workload = WorkloadSpec.all_equal(spec, [7, 8], attack="crash")
+        assert [i.inputs for i in workload.instances] == [
+            (7,) * 4, (8,) * 4
+        ]
+        assert {i.attack for i in workload.instances} == {"crash"}
+
+    def test_execute_workload(self):
+        spec = RunSpec(n=4, l_bits=16)
+        workload = WorkloadSpec.all_equal(spec, [7, 8])
+        results = ConsensusService.execute(workload)
+        assert [r.value for r in results] == [7, 8]
+
+    def test_run_workload_rejects_foreign_spec(self):
+        service = ConsensusService(RunSpec(n=4, l_bits=16))
+        foreign = WorkloadSpec.all_equal(RunSpec(n=7, l_bits=16), [1])
+        with pytest.raises(ValueError, match="does not match"):
+            service.run_workload(foreign)
+
+
+class TestSubmitDrain:
+    def test_tickets_and_order(self):
+        service = ConsensusService(RunSpec(n=4, l_bits=32))
+        tickets = [
+            service.submit(0xAA),
+            service.submit((1, 2, 3, 4)),
+            service.submit(0xBB, attack="crash"),
+        ]
+        assert tickets == [0, 1, 2]
+        assert service.pending == 3
+        results = service.drain()
+        assert service.pending == 0
+        assert len(results) == 3
+        assert results[0].value == 0xAA
+        assert results[2].value == 0xBB
+        # equality with the looped reference, adversarial entry included
+        spec = RunSpec(n=4, l_bits=32)
+        reference = looped_reference(spec, [
+            InstanceSpec(inputs=(0xAA,) * 4),
+            InstanceSpec(inputs=(1, 2, 3, 4)),
+            InstanceSpec(inputs=(0xBB,) * 4, attack="crash"),
+        ])
+        assert results == reference
+
+    def test_drain_empty(self):
+        service = ConsensusService(RunSpec(n=4, l_bits=32))
+        assert service.drain() == []
+
+
+class TestServiceApi:
+    def test_accepts_config_or_spec(self):
+        config = ConsensusConfig.create(n=4, t=1, l_bits=32)
+        by_config = ConsensusService(config).run(9)
+        by_spec = ConsensusService(RunSpec(n=4, t=1, l_bits=32)).run(9)
+        assert by_config == by_spec
+        with pytest.raises(TypeError):
+            ConsensusService("n=4")
+
+    def test_run_matches_one_shot(self):
+        config = ConsensusConfig.create(n=7, t=2, l_bits=96)
+        service = ConsensusService(config)
+        reference = MultiValuedConsensus(
+            ConsensusConfig.create(n=7, t=2, l_bits=96)
+        ).run([0x5A] * 7)
+        assert service.run(0x5A) == reference
+
+    def test_run_with_adversary_object(self):
+        from repro.processors import SlowBleedAdversary
+
+        config = ConsensusConfig.create(n=7, t=2, l_bits=96)
+        service = ConsensusService(config)
+        result = service.run(0x5A, adversary=SlowBleedAdversary([0]))
+        reference = MultiValuedConsensus(
+            ConsensusConfig.create(n=7, t=2, l_bits=96),
+            adversary=SlowBleedAdversary([0]),
+        ).run([0x5A] * 7)
+        assert result == reference
+
+    def test_instance_spec_conflicts_with_overrides(self):
+        service = ConsensusService(RunSpec(n=4, l_bits=16))
+        with pytest.raises(ValueError, match="conflict"):
+            service.run(InstanceSpec(inputs=(1,) * 4), attack="crash")
+
+    def test_adversary_object_conflicts_with_overrides(self):
+        from repro.processors import Adversary
+
+        service = ConsensusService(RunSpec(n=4, l_bits=16))
+        with pytest.raises(ValueError, match="conflict"):
+            service.run(1, attack="crash", adversary=Adversary([]))
+
+    def test_wrong_input_count(self):
+        service = ConsensusService(RunSpec(n=4, l_bits=16))
+        with pytest.raises(ValueError, match="expected 4 inputs"):
+            service.run((1, 2, 3))
+
+    def test_oversized_value(self):
+        service = ConsensusService(RunSpec(n=4, l_bits=16))
+        with pytest.raises(ValueError, match="does not fit"):
+            service.run(1 << 16)
+        # the clone path validates identically
+        service.run_many([1, 2])
+        with pytest.raises(ValueError, match="does not fit"):
+            service.run_many([1 << 16])
+
+    def test_unknown_executor_name(self):
+        service = ConsensusService(RunSpec(n=4, l_bits=16))
+        with pytest.raises(ValueError, match="unknown executor"):
+            service.run_many([1], executor="threads")
+
+
+class TestExecutors:
+    def test_serial_executor_matches_default(self):
+        spec = RunSpec(n=4, l_bits=32)
+        instances = [InstanceSpec(inputs=(v,) * 4) for v in (1, 2, 3)]
+        default = ConsensusService(spec).run_many(instances)
+        serial = ConsensusService(spec).run_many(
+            instances, executor=SerialExecutor()
+        )
+        named = ConsensusService(spec).run_many(
+            instances, executor="serial"
+        )
+        assert default == serial == named
+
+    def test_process_executor_empty_batch(self):
+        service = ConsensusService(RunSpec(n=4, l_bits=16))
+        assert service.run_many([], executor="process") == []
+
+    def test_process_executor_more_shards_than_instances(self):
+        spec = RunSpec(n=4, l_bits=32)
+        results = ConsensusService(spec).run_many(
+            [1, 2], executor=ProcessExecutor(shards=8)
+        )
+        assert [r.value for r in results] == [1, 2]
+
+    def test_process_executor_single_shard_runs_inline(self):
+        spec = RunSpec(n=4, l_bits=32)
+        results = ConsensusService(spec).run_many(
+            [5], executor=ProcessExecutor(shards=1)
+        )
+        assert results[0].value == 5
+
+    def test_shard_worker_honours_reuse_results(self, monkeypatch):
+        # The escape hatch must survive the trip through a worker
+        # payload: reuse_results=False means every instance executes a
+        # real engine, shard workers included.
+        from repro.service.executors import _run_shard
+
+        calls = []
+        original = engine_module.execute_consensus
+
+        def spy(consensus, inputs):
+            calls.append(1)
+            return original(consensus, inputs)
+
+        monkeypatch.setattr(engine_module, "execute_consensus", spy)
+        spec = RunSpec(n=4, l_bits=32)
+        instances = tuple(InstanceSpec(inputs=(v,) * 4) for v in (1, 2, 3))
+        _run_shard((spec, True, instances))
+        assert len(calls) == 1  # template + clones
+        calls.clear()
+        _run_shard((spec, False, instances))
+        assert len(calls) == 3  # real execution per instance
+
+    def test_process_executor_rejects_live_b_function(self):
+        config = ConsensusConfig.create(
+            n=4, t=1, l_bits=32, b_function=lambda n: 4 * n * n
+        )
+        service = ConsensusService(config)
+        with pytest.raises(ValueError, match="b_function"):
+            service.run_many([1, 2], executor="process")
+        # ...but the serial path handles it fine
+        assert [r.value for r in service.run_many([1, 2])] == [1, 2]
