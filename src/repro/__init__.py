@@ -44,6 +44,7 @@ from repro.service import (
     RunSpec,
     SerialExecutor,
     WorkloadSpec,
+    WorkStealingExecutor,
 )
 
 __version__ = "1.1.0"
@@ -55,6 +56,7 @@ __all__ = [
     "WorkloadSpec",
     "SerialExecutor",
     "ProcessExecutor",
+    "WorkStealingExecutor",
     "ATTACKS",
     "make_attack",
     "ConsensusConfig",

@@ -177,6 +177,52 @@ class AccountedIdealBroadcast(BroadcastBackend):
             )
         return outcomes
 
+    def broadcast_rows_flat(self, rows, tag, ignored=frozenset()):
+        """Compact dispatch for engine-normalized rows: returns one flat
+        bit list per row instead of per-pid dicts (agreement makes every
+        fault-free view that shared list).
+
+        The observable execution is byte-identical to
+        :meth:`broadcast_bits_many` over the same rows — same instance
+        ids and bumps in row order, same ``ideal_broadcast_bit`` hook
+        order and arguments (one view snapshot per controlled row), same
+        meter ``Counter`` sums and ``stats`` totals, ignored sources
+        yield zero rows without charges or hooks.  Callers must pass
+        bits already normalized to 0/1 (the engines always do), which is
+        what lets this path skip the per-bit validation; rows come back
+        shared and read-only.  This is the cohort fast path's unit: the
+        per-pid dict fan-out of the generic entry points is pure
+        allocation when the caller only ever reads the reference view.
+        """
+        outcomes: list = []
+        total = 0
+        for source, bits in rows:
+            if source in ignored:
+                outcomes.append([0] * len(bits))
+                continue
+            if self.adversary.controls(source):
+                view = self._view()  # one snapshot per controlled row
+                row = []
+                for bit in bits:
+                    instance = self._next_instance()
+                    value = self.adversary.ideal_broadcast_bit(
+                        source, bit, instance, view
+                    )
+                    row.append(1 if value else 0)
+            else:
+                self.stats.instances += len(bits)
+                row = bits
+            total += len(bits)
+            outcomes.append(row)
+        if total:
+            self.stats.bits_charged += self._b * total
+            self.meter.add(
+                tag,
+                self._b * total,
+                messages=self.n * (self.n - 1) * total,
+            )
+        return outcomes
+
     def broadcast_bits_many(self, rows, tag, ignored=frozenset()):
         """Bulk fast path: when every source is honest and live, outcomes
         are the inputs and the whole call is one accounting entry with

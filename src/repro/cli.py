@@ -43,7 +43,8 @@ from repro.broadcast_bit.ideal import default_b
 from repro.core import MultiValuedBroadcast
 from repro.processors import Adversary, make_attack, normalize_attack
 from repro.processors import ATTACKS as _ATTACKS
-from repro.service import ConsensusService, RunSpec
+from repro.service import ConsensusService, InstanceSpec, RunSpec
+from repro.service.executors import EXECUTORS
 
 
 def __getattr__(name: str):
@@ -107,6 +108,32 @@ def _make_adversary(args) -> Adversary:
 def cmd_consensus(args) -> int:
     service = ConsensusService(_make_spec(args))
     value = _parse_value(args.value, args.l_bits)
+    if args.instances > 1:
+        batch = [
+            InstanceSpec(
+                inputs=(value,) * args.n, seed=args.seed + i
+            )
+            for i in range(args.instances)
+        ]
+        results = service.run_many(batch, executor=args.executor)
+        rows = [
+            (
+                i,
+                result.consistent,
+                result.valid,
+                result.default_used,
+                result.meter.total_bits,
+            )
+            for i, result in enumerate(results)
+        ]
+        print(
+            format_table(
+                ("instance", "consistent", "valid", "default", "total bits"),
+                rows,
+            )
+        )
+        ok = all(r.consistent and r.valid for r in results)
+        return 0 if ok else 1
     result = service.run(value)
     print(consensus_report(result, service.config))
     return 0 if result.consistent and result.valid else 1
@@ -239,6 +266,12 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--d-bits", type=int, default=None,
                    help="generation size (default: paper-optimal)")
+    p.add_argument("--instances", type=int, default=1,
+                   help="independent instances to batch through the "
+                   "service (per-instance seeds seed, seed+1, ...)")
+    p.add_argument("--executor", default="serial",
+                   choices=sorted(EXECUTORS),
+                   help="batch executor for --instances > 1")
     p.set_defaults(func=cmd_consensus)
 
     p = sub.add_parser("broadcast", help="run the §4 multi-valued broadcast")

@@ -63,6 +63,28 @@ from repro.utils.bits import bits_to_int, is_exact_int
 _MISSING = -1
 
 
+class ProtocolCaches:
+    """Shareable memo dictionaries for :class:`GenerationProtocol`.
+
+    Every cache is a pure content-keyed memo of a deterministic function
+    of the (config, code) pair — clique search by M-view, decode /
+    consistency by symbol set, encode by part — so one instance may be
+    shared across generations, and across *consensus instances* of one
+    deployment: the service layer's cohort batching hands one
+    :class:`ProtocolCaches` to every protocol of a cohort, turning the
+    per-generation caches (useful only within a single generation) into
+    cohort-lifetime ones.
+    """
+
+    __slots__ = ("clique", "decode", "consistency", "encode")
+
+    def __init__(self):
+        self.clique: Dict[Tuple, Optional[Tuple[int, ...]]] = {}
+        self.decode: Dict[frozenset, Tuple[int, ...]] = {}
+        self.consistency: Dict[frozenset, bool] = {}
+        self.encode: Dict[Tuple[int, ...], List[int]] = {}
+
+
 class GenerationProtocol:
     """Executes Algorithm 1 for one generation ``g``."""
 
@@ -77,6 +99,7 @@ class GenerationProtocol:
         generation: int,
         view_provider: Callable[[], GlobalView],
         vectorized: bool = True,
+        caches: Optional[ProtocolCaches] = None,
     ):
         self.config = config
         self.code = code
@@ -101,10 +124,16 @@ class GenerationProtocol:
         if not self._honest:
             raise ValueError("at least one fault-free processor required")
         self._reference = self._honest[0]
-        self._clique_cache: Dict[Tuple, Optional[Tuple[int, ...]]] = {}
-        self._decode_cache: Dict[frozenset, Tuple[int, ...]] = {}
-        self._consistency_cache: Dict[frozenset, bool] = {}
-        self._encode_cache: Dict[Tuple[int, ...], List[int]] = {}
+        # Private per-generation memos by default; a caller-supplied
+        # ProtocolCaches (cohort batching) substitutes cohort-lifetime
+        # ones — every entry is content-keyed and deterministic, so
+        # sharing never changes an outcome.
+        if caches is None:
+            caches = ProtocolCaches()
+        self._clique_cache = caches.clique
+        self._decode_cache = caches.decode
+        self._consistency_cache = caches.consistency
+        self._encode_cache = caches.encode
         #: numpy lane for symbol matrices: wide interleaved super-symbols
         #: do not fit an int64, so they fall back to object arrays (the
         #: boolean mask algebra is dtype-independent).

@@ -309,7 +309,11 @@ class SyncNetwork:
                 "charge_round on a journalling network: the journal "
                 "must observe materialized messages"
             )
-        self.meter.add(tag, bits * count, messages=count)
+        if count:
+            # A zero-edge round must not touch the meter: the real path
+            # (send_many of zero edges + deliver) records nothing, and a
+            # Counter entry of 0 bits would still show up in snapshots.
+            self.meter.add(tag, bits * count, messages=count)
         self._end_round()
 
     def deliver(self) -> Dict[int, List[Message]]:

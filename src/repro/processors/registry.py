@@ -196,6 +196,29 @@ def normalize_attack(name: str) -> str:
     return _ALIASES.get(canonical, canonical)
 
 
+def attack_cohort_id(
+    name: str, faulty: Optional[Sequence[int]] = None
+) -> Tuple[str, Optional[Tuple[int, ...]]]:
+    """The attack-shape identity used for cohort grouping.
+
+    Two instances share a cohort id exactly when :func:`make_attack`
+    would build them structurally identical adversaries up to seeding:
+    the canonical attack name plus the *declared* faulty set.  The
+    declared (pre-resolution) set is the right key — builders may pick a
+    different strategy for ``faulty=None`` than for an explicit
+    equivalent list (``corrupt`` defaults to a single targeted victim
+    but corrupts everyone when pids are passed explicitly), so resolving
+    defaults here would merge genuinely different shapes.  The seed is
+    deliberately excluded: seeded strategies with different seeds still
+    share every structural input to the protocol (faulty set, hook call
+    pattern), which is all cohort batching relies on.
+    """
+    return (
+        normalize_attack(name),
+        tuple(faulty) if faulty is not None else None,
+    )
+
+
 def make_attack(
     name: str,
     n: int,

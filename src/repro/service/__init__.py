@@ -24,6 +24,7 @@ from repro.service.executors import (
     Executor,
     ProcessExecutor,
     SerialExecutor,
+    WorkStealingExecutor,
 )
 from repro.service.service import ConsensusService
 from repro.service.spec import InstanceSpec, RunSpec, WorkloadSpec
@@ -36,5 +37,6 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ProcessExecutor",
+    "WorkStealingExecutor",
     "EXECUTORS",
 ]

@@ -1,0 +1,1203 @@
+"""Attack-cohort batching: one generation engine per attack shape.
+
+``run_many`` batches mix honest and adversarial instances; PR 3
+vectorized *within* one instance and the failure-free fast path batches
+*across* honest instances, but every adversarial instance still ran the
+full per-generation :class:`~repro.core.generation.GenerationProtocol`.
+This module closes that gap.  Instances of one batch that share an
+*attack shape* — same ``(n, t, L, D)`` layout, same canonical attack and
+declared faulty set (:func:`repro.service.spec.cohort_key`) — run
+through one :class:`CohortContext` that shares everything the protocol
+recomputes identically across them:
+
+* the diagnosis-graph *structure* per graph state (trust mask, live
+  sets, the faulty senders' recipient lists, the conforming M baseline
+  and its broadcast bit rows),
+* the honest M rows per deviation pattern and the M-matrix →
+  ``P_match`` clique search, keyed by the dispatched M rows (one search
+  per distinct M view, however many generations and instances produce
+  it),
+* checking-stage structure (which ``P_match`` members each outsider
+  trusts, per-processor decode position counts),
+* decode/consistency/clique memos
+  (:class:`~repro.core.generation.ProtocolCaches`) shared with the
+  delegated diagnosis stage,
+* the ``(n, n)`` diagnosis scatter buffer and the per-part shared
+  decisions dicts.
+
+The contract is the PR 3/PR 5 discipline wholesale: results — decisions,
+:class:`~repro.core.result.GenerationResult` records, meter snapshots,
+round clock, backend instance ids — are **byte-identical** to a looped
+one-shot run, and every per-instance :class:`Adversary` hook fires in
+the exact scalar order with the exact scalar arguments, so seeded
+stateful attacks replay identically.  Two classes of shortcut keep that
+true while skipping work:
+
+* *Unobservable accounting*: the matching round's one-or-two
+  ``send_many`` + ``deliver_arrays`` collapse to one
+  :meth:`~repro.network.simulator.SyncNetwork.charge_round` (equal
+  ``Counter`` sums, one round advance), and broadcast dispatch uses
+  :meth:`~repro.broadcast_bit.ideal.AccountedIdealBroadcast.\
+broadcast_rows_flat` (same hook sequence and instance ids, no per-pid
+  dict fan-out) or, when the adversary leaves ``ideal_broadcast_bit``
+  at the honest base implementation, pure bulk accounting
+  (:meth:`~repro.broadcast_bit.ideal.AccountedIdealBroadcast.\
+charge_honest_instances` — identical counters).
+* *Base-hook elision*: a hook the attack class does not override is the
+  stateless base implementation returning its honest argument; skipping
+  the call cannot be observed.  Overridden hooks always fire.
+
+Any generation that reaches the diagnosis stage delegates to the
+vectorized :meth:`GenerationProtocol._diagnosis_stage_vec` on a
+protocol wired to the cohort's shared caches — diagnosis is rare and
+already grouped, so the cohort engine only fast-paths the hot
+matching/checking stages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.coding.reed_solomon import DecodingError
+from repro.core.config import ConsensusConfig, ProtocolInvariantError
+from repro.core.consensus import MultiValuedConsensus
+from repro.core.generation import (
+    _MISSING,
+    GenerationProtocol,
+    ProtocolCaches,
+)
+from repro.core.result import GenerationOutcome, GenerationResult
+from repro.graphs.cliques import find_clique_matrix
+from repro.processors.adversary import Adversary
+from repro.service.engine import finalize_result, prepare_instance
+from repro.utils.bits import is_exact_int
+
+
+class _GraphStructure:
+    """Value-independent structure of one diagnosis-graph state.
+
+    Everything here depends only on the graph's trust mask / isolated
+    set and the cohort's controlled set, so one instance serves every
+    generation of every cohort instance that reaches this graph state.
+    The M *baseline* (``m_base``/``base_bits``) is the conforming case —
+    every delivered symbol matches the recipient's codeword — from which
+    per-generation deviations are applied as sparse overrides.
+    """
+
+    __slots__ = (
+        "key", "mask", "isolated", "live", "fab_recips", "fab_sent",
+        "honest_edges", "m_base", "base_bool", "base_bits",
+    )
+
+    def __init__(self, graph, controlled: FrozenSet[int], n: int, key):
+        self.key = key
+        # Isolation drops every edge of the pid, so the mask alone
+        # already encodes liveness (its isolated rows/columns are zero);
+        # copy it because trust_mask() is a live view of mutable state.
+        mask = np.asarray(graph.trust_mask()).copy()
+        self.mask = mask
+        isolated = frozenset(graph.isolated)
+        self.isolated = isolated
+        live = [pid not in isolated for pid in range(n)]
+        self.live = live
+        # Faulty live senders and their recipient lists, in the exact
+        # scalar hook order (sender ascending, recipients sorted).
+        self.fab_recips = {
+            s: [r for r in sorted(graph.trusted_by(s)) if r not in isolated]
+            for s in range(n)
+            if s in controlled and live[s]
+        }
+        self.fab_sent = sum(len(r) for r in self.fab_recips.values())
+        honest_rows = [
+            i for i in range(n) if live[i] and i not in controlled
+        ]
+        self.honest_edges = (
+            int(mask[honest_rows].sum()) if honest_rows else 0
+        )
+        eye = np.eye(n, dtype=bool)
+        m_base = mask | eye
+        self.m_base = m_base
+        self.base_bool = m_base.tolist()
+        self.base_bits = (
+            m_base.astype(np.int8)[~eye].reshape(n, n - 1).tolist()
+        )
+
+
+#: Cache-miss sentinel for the steady-plan table (``None`` is a valid,
+#: cached "ineligible" entry there).
+_UNSET = object()
+
+
+class _SteadyPlan:
+    """Per-graph-state replay plan for fully conforming generations.
+
+    When no adversary hook can *influence* a generation (base
+    ``ideal_broadcast_bit``; base ``matching_symbol`` or no live faulty
+    sender; and a ``m_vector`` override only with every controlled
+    processor isolated, whose M rows dispatch as zeros whatever the
+    hook returns) and every payload conforms, the generation's
+    observable effects reduce to three constant charges plus the
+    conforming decision record — everything here is value-independent,
+    so one plan replays every such generation of every cohort instance
+    at this graph state.  ``mv_fire`` records whether the (discarded)
+    ``m_vector`` hooks must still be invoked so stateful adversaries
+    observe the exact scalar call sequence.
+    """
+
+    __slots__ = ("m_total", "no_match", "n_out", "p_match", "mv_fire")
+
+    def __init__(self, m_total, no_match, n_out, p_match, mv_fire):
+        self.m_total = m_total
+        self.no_match = no_match
+        self.n_out = n_out
+        self.p_match = p_match
+        self.mv_fire = mv_fire
+
+
+class _ReplayPlan:
+    """Per-(graph state, deviation pattern) replay of a recurring
+    generation whose only deviations are *silent* (missing/invalid
+    payloads, no valid off-codeword symbol, no distinct input).
+
+    Under those conditions every downstream artifact — M rows, match
+    set, detection flags, decision-cleanliness — is a function of the
+    deviation *pattern*, not of the instance's values, so generations
+    repeating the pattern (e.g. a crashed sender staying silent for the
+    whole run) replay from this plan.  Overridden ``m_vector``/
+    ``detected_flag`` hooks still fire every generation in scalar order
+    and their returns are honoured; only the value-independent
+    bookkeeping around them is cached.
+    """
+
+    __slots__ = (
+        "hdev_key", "missing", "ctrl_row_bool", "ctrl_bits", "m_total",
+        "info", "per_info",
+    )
+
+    def __init__(self, hdev_key, missing, ctrl_row_bool, ctrl_bits,
+                 m_total, info):
+        self.hdev_key = hdev_key
+        self.missing = missing
+        #: Controlled pids' M expectation rows (the m_vector hook args).
+        self.ctrl_row_bool = ctrl_row_bool
+        #: Their dispatched bits (base-``m_vector`` plans only).
+        self.ctrl_bits = ctrl_bits
+        self.m_total = m_total
+        #: Resolved match info when the M view is hook-independent.
+        self.info = info
+        #: id(_MatchInfo) -> (det_list, detectors_base, clean); match
+        #: infos are immortal in the context cache, so ids are stable.
+        self.per_info: Dict[int, tuple] = {}
+
+
+class _MatchInfo:
+    """Checking-stage structure derived from one (graph, M view) pair."""
+
+    __slots__ = (
+        "p_match", "match_set", "outsiders", "trusted_ctrl", "pos_ok",
+    )
+
+    def __init__(
+        self,
+        p_match: Optional[Tuple[int, ...]],
+        struct: _GraphStructure,
+        controlled: FrozenSet[int],
+        honest: List[int],
+        k: int,
+        n: int,
+    ):
+        self.p_match = p_match
+        if p_match is None:
+            return
+        match_set = frozenset(p_match)
+        self.match_set = match_set
+        mask = struct.mask
+        self.outsiders = [
+            q for q in range(n)
+            if q not in match_set and q not in struct.isolated
+        ]
+        pm_ctrl = [f for f in p_match if f in controlled]
+        #: Controlled P_match members each outsider trusts — the only
+        #: senders whose payloads can flip its Detected flag (honest
+        #: members always deliver their shared-codeword symbol).
+        self.trusted_ctrl = {
+            q: [f for f in pm_ctrl if mask[q, f]] for q in self.outsiders
+        }
+        # Conforming-case decode feasibility: with every payload on the
+        # honest codeword, does every honest processor hold >= k
+        # checking-stage positions?
+        pm_arr = np.array(p_match, dtype=np.int64)
+        pos_ok = True
+        for pid in honest:
+            count = int(mask[pid, pm_arr].sum())
+            if pid in match_set:
+                count += 1  # own diagonal symbol, always present
+            if count < k:
+                pos_ok = False
+                break
+        self.pos_ok = pos_ok
+
+
+class CohortContext:
+    """Shared state for every instance of one attack cohort."""
+
+    def __init__(self, config: ConsensusConfig, code, adversary: Adversary):
+        self.config = config
+        self.code = code
+        self.n = config.n
+        self.t = config.t
+        self.k = config.data_symbols
+        self.c = config.symbol_bits
+        self.symbol_limit = code.symbol_limit
+        controlled = frozenset(adversary.faulty)
+        self.controlled = controlled
+        self.controlled_sorted = sorted(controlled)
+        self.honest = [
+            pid for pid in range(self.n) if pid not in controlled
+        ]
+        # A hook the attack class leaves at the Adversary base is the
+        # stateless honest identity: eliding the call is unobservable.
+        a_type = type(adversary)
+        self.ms_default = (
+            a_type.matching_symbol is Adversary.matching_symbol
+        )
+        self.mv_default = a_type.m_vector is Adversary.m_vector
+        self.df_default = a_type.detected_flag is Adversary.detected_flag
+        self.ib_default = (
+            a_type.ideal_broadcast_bit is Adversary.ideal_broadcast_bit
+        )
+        #: Protocol-level memos shared with delegated diagnosis stages.
+        self.caches = ProtocolCaches()
+        self._structs: Dict[Tuple, _GraphStructure] = {}
+        self._match: Dict[Tuple, _MatchInfo] = {}
+        self._steady: Dict[Tuple, Optional[_SteadyPlan]] = {}
+        self._replays: Dict[Tuple, _ReplayPlan] = {}
+        self._values: Dict[tuple, int] = {}
+        self._tags: List[Tuple[str, str, str]] = []
+        self._rows: Dict[Tuple, List[Optional[List[int]]]] = {}
+        self._decisions: Dict[tuple, Dict[int, tuple]] = {}
+        self._part_tuples: Dict[int, List[tuple]] = {}
+        self._local_encodes: Dict[Tuple, List[List[int]]] = {}
+        self._dtype = np.int64 if self.c <= 62 else object
+        self._scatter: Optional[np.ndarray] = None
+        self.zero1 = [0]
+        self.one1 = [1]
+        #: Instances served through this cohort (benchmark introspection).
+        self.instances = 0
+
+    def tags_for(self, g: int) -> Tuple[str, str, str]:
+        """The generation's (symbols, M, detected) meter tags, formatted
+        once per cohort instead of once per generation per instance."""
+        tags = self._tags
+        while len(tags) <= g:
+            prefix = "gen%d" % len(tags)
+            tags.append((
+                prefix + ".matching.symbols",
+                prefix + ".matching.M",
+                prefix + ".checking.detected",
+            ))
+        return tags[g]
+
+    def match_info_for(
+        self,
+        struct: _GraphStructure,
+        hdev_key: Tuple,
+        ctrl_key: Tuple,
+        outcomes: List[List[int]],
+    ) -> _MatchInfo:
+        """The match set of one dispatched M view, memoized — honest
+        rows are determined by (graph, deviation), so the key only
+        carries the controlled rows on top of that."""
+        mkey = (struct.key, hdev_key, ctrl_key)
+        info = self._match.get(mkey)
+        if info is None:
+            n = self.n
+            m_matrix = np.empty((n, n), dtype=bool)
+            for i in range(n):
+                outcome = outcomes[i]
+                m_matrix[i, :i] = outcome[:i]
+                m_matrix[i, i + 1:] = outcome[i:]
+            np.fill_diagonal(m_matrix, True)
+            adjacency = m_matrix & m_matrix.T
+            np.fill_diagonal(adjacency, False)
+            clique = find_clique_matrix(adjacency, n - self.t)
+            p_match = tuple(clique) if clique is not None else None
+            info = _MatchInfo(
+                p_match, struct, self.controlled, self.honest, self.k, n
+            )
+            self._match[mkey] = info
+        return info
+
+    def steady_plan_for(
+        self, struct: _GraphStructure
+    ) -> Optional[_SteadyPlan]:
+        """The conforming-generation replay plan for one graph state, or
+        ``None`` when some hook would still fire in it (overridden
+        ``m_vector``/``ideal_broadcast_bit``, or an overridden
+        ``detected_flag`` with controlled outsiders) or its decisions
+        are not the shared conforming decode."""
+        plan = self._steady.get(struct.key, _UNSET)
+        if plan is not _UNSET:
+            return plan
+        plan = None
+        # An overridden m_vector is tolerable only when every controlled
+        # processor is isolated: its hooks still fire (mv_fire) but the
+        # dispatch zeroes their rows whatever they return.
+        if self.ib_default and (
+            self.mv_default or self.controlled <= struct.isolated
+        ):
+            n = self.n
+            outcomes = []
+            m_total = 0
+            for i in range(n):
+                if i in struct.isolated:
+                    outcomes.append([0] * (n - 1))
+                else:
+                    outcomes.append(struct.base_bits[i])
+                    m_total += n - 1
+            ctrl_key = tuple(
+                tuple(outcomes[i]) for i in self.controlled_sorted
+            )
+            info = self.match_info_for(struct, (), ctrl_key, outcomes)
+            mv_fire = not self.mv_default
+            if info.p_match is None:
+                plan = _SteadyPlan(m_total, True, 0, None, mv_fire)
+            elif info.pos_ok and (
+                self.df_default
+                or not any(q in self.controlled for q in info.outsiders)
+            ):
+                plan = _SteadyPlan(
+                    m_total, False, len(info.outsiders), info.p_match,
+                    mv_fire,
+                )
+        self._steady[struct.key] = plan
+        return plan
+
+    def structure_for(self, graph) -> _GraphStructure:
+        mask = np.asarray(graph.trust_mask())
+        key = (mask.tobytes(), tuple(sorted(graph.isolated)))
+        struct = self._structs.get(key)
+        if struct is None:
+            struct = _GraphStructure(graph, self.controlled, self.n, key)
+            self._structs[key] = struct
+        return struct
+
+    def codeword_runs(
+        self, consensus: MultiValuedConsensus, parts: List[List[int]]
+    ) -> List[List[int]]:
+        """Whole-run codewords for one part sequence, via the service's
+        shared encode cache when attached (cross-instance batching)."""
+        key = tuple(tuple(part) for part in parts)
+        cache = (
+            consensus.encode_cache
+            if consensus.encode_cache is not None
+            else self._local_encodes
+        )
+        runs = cache.get(key)
+        if runs is None:
+            runs = self.code.encode_generations(parts)
+            cache[key] = runs
+        return runs
+
+    def part_tuples_for(self, value: int, parts) -> List[tuple]:
+        """Per-generation part tuples of one input value, shared across
+        the cohort (the conforming decision rows decode to exactly the
+        sender's own part)."""
+        tuples = self._part_tuples.get(value)
+        if tuples is None:
+            tuples = [tuple(part) for part in parts]
+            self._part_tuples[value] = tuples
+        return tuples
+
+    def decisions_for(self, part: tuple) -> Dict[int, tuple]:
+        decisions = self._decisions.get(part)
+        if decisions is None:
+            decisions = {pid: part for pid in self.honest}
+            self._decisions[part] = decisions
+        return decisions
+
+    def cached_decode(self, positions: Dict[int, int]) -> Tuple[int, ...]:
+        key = frozenset(positions.items())
+        cached = self.caches.decode.get(key)
+        if cached is None:
+            cached = tuple(self.code.decode_subset(positions))
+            self.caches.decode[key] = cached
+        return cached
+
+    def cached_consistent(self, positions: Dict[int, int]) -> bool:
+        key = frozenset(positions.items())
+        cached = self.caches.consistency.get(key)
+        if cached is None:
+            cached = self.code.is_consistent(positions)
+            self.caches.consistency[key] = cached
+        return cached
+
+    def scatter(self) -> np.ndarray:
+        """The shared ``(n, n)`` diagnosis scatter buffer, reset to
+        :data:`_MISSING` (the delegated stage never retains it)."""
+        buf = self._scatter
+        if buf is None:
+            buf = np.empty((self.n, self.n), dtype=self._dtype)
+            self._scatter = buf
+        buf[:] = _MISSING
+        return buf
+
+
+class _InstanceRun:
+    """One cohort instance's generation loop over the shared context."""
+
+    __slots__ = (
+        "ctx", "consensus", "adversary", "cw_runs", "ref_runs",
+        "ref_tuples", "distinct", "ms_skip", "default_parts", "view",
+        "struct",
+    )
+
+    def __init__(self, ctx, consensus, cw_runs, ref_runs, ref_tuples,
+                 distinct, default_parts):
+        self.ctx = ctx
+        self.consensus = consensus
+        self.adversary = consensus.adversary
+        self.cw_runs = cw_runs
+        self.ref_runs = ref_runs
+        self.ref_tuples = ref_tuples
+        self.distinct = distinct
+        # With the base matching_symbol hook and no controlled processor
+        # holding a distinct value, every payload is the sender's honest
+        # shared-codeword symbol: classification is statically empty.
+        self.ms_skip = ctx.ms_default and not distinct
+        self.default_parts = default_parts
+        self.view = None
+        #: Graph structure carried across generations; only a diagnosis
+        #: can mutate the graph, so it is invalidated exactly there.
+        self.struct = None
+
+    def _make_view(self):
+        """One snapshot per generation, shared across its hook sites
+        (snapshots are pure and content-identical within a generation,
+        so sharing is unobservable)."""
+        view = self.view
+        if view is None:
+            view = self.consensus._make_view()
+            self.view = view
+        return view
+
+    def run_generation(self, g: int) -> GenerationResult:
+        ctx = self.ctx
+        consensus = self.consensus
+        adversary = self.adversary
+        n = ctx.n
+        controlled = ctx.controlled
+        self.view = None
+        struct = self.struct
+        if struct is None:
+            struct = ctx.structure_for(consensus.graph)
+            self.struct = struct
+        sym_tag, m_tag, det_tag = ctx.tags_for(g)
+        cw_runs = self.cw_runs
+        row_of = None
+        cw = None
+
+        # -- lines 1(a)-1(b): the symbol round --------------------------
+        # Honest traffic is value-independent accounting; faulty live
+        # senders fire their matching_symbol hooks in scalar order and
+        # the payloads are classified against two expectations: the
+        # recipient's own codeword row (drives its M bit) and the shared
+        # honest codeword (drives checking and decisions).
+        missing: Set[Tuple[int, int]] = set()
+        offcw: Dict[Tuple[int, int], int] = {}
+        m_false: List[Tuple[int, int]] = []
+        valid: Dict[Tuple[int, int], int] = {}
+        if struct.fab_recips and not self.ms_skip:
+            row_of = [cw_runs[pid][g] for pid in range(n)]
+            cw = self.ref_runs[g]
+            n_sent = 0
+            view = self._make_view()
+            limit = ctx.symbol_limit
+            for f, recips in struct.fab_recips.items():
+                own = row_of[f][f]
+                exp = cw[f]
+                for r in recips:
+                    payload = adversary.matching_symbol(f, r, own, g, view)
+                    if payload is None:
+                        # Silent: no bits on the wire, M bit False.
+                        missing.add((f, r))
+                        m_false.append((f, r))
+                        continue
+                    n_sent += 1
+                    if is_exact_int(payload) and 0 <= payload < limit:
+                        payload = int(payload)
+                        valid[(f, r)] = payload
+                        if payload != row_of[r][f]:
+                            m_false.append((f, r))
+                        if payload != exp:
+                            offcw[(f, r)] = payload
+                    else:
+                        # Sent (charged) but invalid on receipt.
+                        missing.add((f, r))
+                        m_false.append((f, r))
+        else:
+            n_sent = struct.fab_sent
+        consensus.network.charge_round(
+            sym_tag, struct.honest_edges + n_sent, ctx.c
+        )
+
+        # -- steady lane: fully conforming generation -------------------
+        # No payload deviated and no further hook can fire: replay the
+        # generation from the per-graph-state plan (three constant
+        # charges + the shared conforming decision record).
+        if not m_false and not self.distinct:
+            plan = ctx.steady_plan_for(struct)
+            if plan is not None:
+                backend = consensus.backend
+                if plan.mv_fire:
+                    view = self._make_view()
+                    base_bool = struct.base_bool
+                    for i in ctx.controlled_sorted:
+                        adversary.m_vector(i, list(base_bool[i]), g, view)
+                if plan.m_total:
+                    backend.charge_honest_instances(m_tag, plan.m_total)
+                if plan.no_match:
+                    default = tuple(self.default_parts[g])
+                    return GenerationResult(
+                        generation=g,
+                        outcome=GenerationOutcome.NO_MATCH_DEFAULT,
+                        decisions={pid: default for pid in ctx.honest},
+                        p_match=None,
+                    )
+                if plan.n_out:
+                    backend.charge_honest_instances(det_tag, plan.n_out)
+                return GenerationResult(
+                    generation=g,
+                    outcome=GenerationOutcome.DECIDED_CHECKING,
+                    decisions=ctx.decisions_for(self.ref_tuples[g]),
+                    p_match=plan.p_match,
+                    detectors=[],
+                )
+        # -- replay lane: recurring silent-deviation pattern ------------
+        # All deviations silent (no valid off-codeword payload) and no
+        # distinct input: everything but the per-generation hook calls
+        # is determined by (graph state, pattern) and replays from the
+        # cached plan.  A crashed sender staying silent all run hits
+        # this every generation after the first.
+        if m_false and not offcw and not self.distinct and ctx.ib_default:
+            rkey = (struct.key, tuple(m_false))
+            plan = ctx._replays.get(rkey)
+            if plan is None:
+                plan = self._build_replay(struct, missing, m_false,
+                                          row_of, valid)
+                ctx._replays[rkey] = plan
+            return self._run_replay(plan, struct, g, m_tag, det_tag,
+                                    row_of, cw, valid)
+
+        if row_of is None:
+            row_of = [cw_runs[pid][g] for pid in range(n)]
+            cw = self.ref_runs[g]
+
+        # -- lines 1(c)-1(e): M vectors and the match set ---------------
+        hdev_key = tuple(
+            sorted(p for p in m_false if p[1] not in controlled)
+        )
+        rows_key = (struct.key, hdev_key)
+        honest_bits = ctx._rows.get(rows_key)
+        if honest_bits is None:
+            honest_bits = self._honest_rows(struct, hdev_key)
+            ctx._rows[rows_key] = honest_bits
+        ctrl_touched = {r for (f, r) in m_false if r in controlled}
+        rows: List[Tuple[int, List[int]]] = []
+        mv_fire = not ctx.mv_default
+        for i in range(n):
+            if i not in controlled:
+                rows.append((i, honest_bits[i]))
+                continue
+            if i in self.distinct or i in ctrl_touched:
+                row_i = self._ctrl_row(struct, row_of, valid, i)
+                base_bits = None
+            else:
+                row_i = struct.base_bool[i]
+                base_bits = struct.base_bits[i]
+            if mv_fire:
+                m_i = list(
+                    adversary.m_vector(i, list(row_i), g, self._make_view())
+                )
+                if len(m_i) != n:
+                    m_i = (m_i + [False] * n)[:n]
+                bits = [1 if m_i[j] else 0 for j in range(n) if j != i]
+            elif base_bits is not None:
+                bits = base_bits
+            else:
+                bits = [1 if row_i[j] else 0 for j in range(n) if j != i]
+            rows.append((i, bits))
+        outcomes = self._dispatch(rows, m_tag, struct)
+
+        # Honest outcomes are determined by (graph, deviation) — only
+        # the controlled rows can vary the M view beyond that.
+        ctrl_key = tuple(
+            tuple(outcomes[i]) for i in ctx.controlled_sorted
+        )
+        info = ctx.match_info_for(struct, hdev_key, ctrl_key, outcomes)
+
+        if info.p_match is None:
+            # Line 1(f): honest inputs provably differ; decide default.
+            default = tuple(self.default_parts[g])
+            decisions = {pid: default for pid in ctx.honest}
+            return GenerationResult(
+                generation=g,
+                outcome=GenerationOutcome.NO_MATCH_DEFAULT,
+                decisions=decisions,
+                p_match=None,
+            )
+        p_match = info.p_match
+
+        # -- lines 2(a)-2(b): checking stage ----------------------------
+        detectors: List[int] = []
+        crows: List[Tuple[int, List[int]]] = []
+        df_fire = not ctx.df_default
+        for q in info.outsiders:
+            detected = False
+            needs_consistency = False
+            for f in info.trusted_ctrl[q]:
+                pair = (f, q)
+                if pair in missing:
+                    detected = True  # a trusted member stayed silent
+                    break
+                if pair in offcw:
+                    needs_consistency = True
+            if not detected and needs_consistency:
+                detected = self._slow_detect(struct, info, q, valid, cw)
+            if q in controlled:
+                flag = detected
+                if df_fire:
+                    flag = bool(
+                        adversary.detected_flag(
+                            q, detected, g, self._make_view()
+                        )
+                    )
+            else:
+                flag = detected
+                if flag:
+                    detectors.append(q)
+            crows.append((q, ctx.one1 if flag else ctx.zero1))
+        coutcomes = (
+            self._dispatch(crows, det_tag, struct) if crows else []
+        )
+
+        if not any(outcome[0] for outcome in coutcomes):
+            # Line 2(c): decide C^{-1}(R_i / P_match).  When no deviation
+            # reaches an honest decision row and the conforming position
+            # counts are decodable, every honest processor decodes the
+            # shared codeword's own part.
+            if info.pos_ok and self._clean_for_decisions(
+                info, missing, offcw
+            ):
+                decisions = ctx.decisions_for(self.ref_tuples[g])
+            else:
+                decisions = self._general_decisions(
+                    info, struct, row_of, cw, valid
+                )
+            return GenerationResult(
+                generation=g,
+                outcome=GenerationOutcome.DECIDED_CHECKING,
+                decisions=decisions,
+                p_match=p_match,
+                detectors=detectors,
+            )
+
+        # -- lines 3(a)-3(i): diagnosis, delegated ----------------------
+        # Diagnosis mutates the graph: drop the carried structure.
+        self.struct = None
+        received = self._scatter_received(struct, row_of, valid)
+        detected_arr = np.zeros(n, dtype=bool)
+        for (q, _), outcome in zip(crows, coutcomes):
+            detected_arr[q] = bool(outcome[0])
+        protocol = GenerationProtocol(
+            config=ctx.config,
+            code=ctx.code,
+            network=consensus.network,
+            graph=consensus.graph,
+            backend=consensus.backend,
+            adversary=adversary,
+            generation=g,
+            view_provider=consensus._make_view,
+            vectorized=True,
+            caches=ctx.caches,
+        )
+        codewords = {pid: row_of[pid] for pid in range(n)}
+        return protocol._diagnosis_stage_vec(
+            p_match,
+            codewords,
+            received,
+            detected_arr,
+            detectors,
+            struct.isolated,
+            self.default_parts[g],
+        )
+
+    # -- replay lane ----------------------------------------------------
+
+    def _build_replay(self, struct, missing, m_false, row_of, valid):
+        """Derive the value-independent replay plan of one silent
+        deviation pattern (every deviating payload missing/invalid, so
+        every M expectation row is a function of the pattern alone)."""
+        ctx = self.ctx
+        controlled = ctx.controlled
+        n = ctx.n
+        hdev_key = tuple(
+            sorted(p for p in m_false if p[1] not in controlled)
+        )
+        rows_key = (struct.key, hdev_key)
+        honest_bits = ctx._rows.get(rows_key)
+        if honest_bits is None:
+            honest_bits = self._honest_rows(struct, hdev_key)
+            ctx._rows[rows_key] = honest_bits
+        ctrl_touched = {r for (f, r) in m_false if r in controlled}
+        ctrl_row_bool = {}
+        outcomes: List[Optional[List[int]]] = [None] * n
+        m_total = 0
+        for i in range(n):
+            if i in controlled:
+                if i in ctrl_touched:
+                    ctrl_row_bool[i] = self._ctrl_row(
+                        struct, row_of, valid, i
+                    )
+                else:
+                    ctrl_row_bool[i] = struct.base_bool[i]
+            if i in struct.isolated:
+                outcomes[i] = [0] * (n - 1)
+            else:
+                m_total += n - 1
+        ctrl_bits = None
+        info = None
+        if ctx.mv_default:
+            ctrl_bits = {}
+            for i in ctx.controlled_sorted:
+                row_i = ctrl_row_bool[i]
+                bits = [1 if row_i[j] else 0 for j in range(n) if j != i]
+                ctrl_bits[i] = bits
+                if outcomes[i] is None:
+                    outcomes[i] = bits
+            for i in range(n):
+                if outcomes[i] is None:
+                    outcomes[i] = honest_bits[i]
+            ctrl_key = tuple(
+                tuple(outcomes[i]) for i in ctx.controlled_sorted
+            )
+            info = ctx.match_info_for(struct, hdev_key, ctrl_key, outcomes)
+        return _ReplayPlan(
+            hdev_key, frozenset(missing), ctrl_row_bool, ctrl_bits,
+            m_total, info,
+        )
+
+    def _run_replay(self, plan, struct, g, m_tag, det_tag, row_of, cw,
+                    valid):
+        """One generation from a replay plan — hook calls (overridden
+        ``m_vector``/``detected_flag``) still fire in scalar order and
+        their returns are honoured; all pattern-determined bookkeeping
+        comes from the plan."""
+        ctx = self.ctx
+        consensus = self.consensus
+        adversary = self.adversary
+        backend = consensus.backend
+        n = ctx.n
+        controlled = ctx.controlled
+        info = plan.info
+        if info is None:
+            # Overridden m_vector: the dispatched M view depends on the
+            # per-generation hook returns.
+            outcomes_ctrl = {}
+            for i in ctx.controlled_sorted:
+                m_i = list(adversary.m_vector(
+                    i, list(plan.ctrl_row_bool[i]), g, self._make_view()
+                ))
+                if len(m_i) != n:
+                    m_i = (m_i + [False] * n)[:n]
+                bits = [1 if m_i[j] else 0 for j in range(n) if j != i]
+                outcomes_ctrl[i] = (
+                    [0] * (n - 1) if i in struct.isolated else bits
+                )
+            ctrl_key = tuple(
+                tuple(outcomes_ctrl[i]) for i in ctx.controlled_sorted
+            )
+            info = ctx._match.get((struct.key, plan.hdev_key, ctrl_key))
+            if info is None:
+                honest_bits = ctx._rows[(struct.key, plan.hdev_key)]
+                outcomes = []
+                for i in range(n):
+                    if i in controlled:
+                        outcomes.append(outcomes_ctrl[i])
+                    elif i in struct.isolated:
+                        outcomes.append([0] * (n - 1))
+                    else:
+                        outcomes.append(honest_bits[i])
+                info = ctx.match_info_for(
+                    struct, plan.hdev_key, ctrl_key, outcomes
+                )
+        if plan.m_total:
+            backend.charge_honest_instances(m_tag, plan.m_total)
+        if info.p_match is None:
+            default = tuple(self.default_parts[g])
+            return GenerationResult(
+                generation=g,
+                outcome=GenerationOutcome.NO_MATCH_DEFAULT,
+                decisions={pid: default for pid in ctx.honest},
+                p_match=None,
+            )
+        per = plan.per_info.get(id(info))
+        if per is None:
+            det_list = []
+            detectors_base = []
+            for q in info.outsiders:
+                detected = any(
+                    (f, q) in plan.missing for f in info.trusted_ctrl[q]
+                )
+                ctrl_q = q in controlled
+                det_list.append((q, detected, ctrl_q))
+                if detected and not ctrl_q:
+                    detectors_base.append(q)
+            clean = self._clean_for_decisions(info, plan.missing, ())
+            per = (det_list, detectors_base, clean)
+            plan.per_info[id(info)] = per
+        det_list, detectors_base, clean = per
+        df_fire = not ctx.df_default
+        flag_list = []
+        any_flag = False
+        for q, detected, ctrl_q in det_list:
+            flag = detected
+            if ctrl_q and df_fire:
+                flag = bool(adversary.detected_flag(
+                    q, detected, g, self._make_view()
+                ))
+            flag_list.append(flag)
+            if flag:
+                any_flag = True
+        if det_list:
+            backend.charge_honest_instances(det_tag, len(det_list))
+        if not any_flag:
+            if info.pos_ok and clean:
+                decisions = ctx.decisions_for(self.ref_tuples[g])
+            else:
+                decisions = self._general_decisions(
+                    info, struct, row_of, cw, valid
+                )
+            return GenerationResult(
+                generation=g,
+                outcome=GenerationOutcome.DECIDED_CHECKING,
+                decisions=decisions,
+                p_match=info.p_match,
+                detectors=list(detectors_base),
+            )
+        # Diagnosis mutates the graph: drop the carried structure.
+        self.struct = None
+        received = self._scatter_received(struct, row_of, valid)
+        detected_arr = np.zeros(n, dtype=bool)
+        for (q, _detected, _ctrl), flag in zip(det_list, flag_list):
+            if flag:
+                detected_arr[q] = True
+        protocol = GenerationProtocol(
+            config=ctx.config,
+            code=ctx.code,
+            network=consensus.network,
+            graph=consensus.graph,
+            backend=backend,
+            adversary=adversary,
+            generation=g,
+            view_provider=consensus._make_view,
+            vectorized=True,
+            caches=ctx.caches,
+        )
+        codewords = {pid: row_of[pid] for pid in range(n)}
+        return protocol._diagnosis_stage_vec(
+            info.p_match,
+            codewords,
+            received,
+            detected_arr,
+            list(detectors_base),
+            struct.isolated,
+            self.default_parts[g],
+        )
+
+    # -- helpers --------------------------------------------------------
+
+    def _dispatch(self, rows, tag, struct):
+        """Broadcast dispatch: the flat row path when the adversary's
+        ``ideal_broadcast_bit`` hook must fire, pure bulk accounting
+        (identical counters, identical outcomes) when it is the base
+        honest identity."""
+        backend = self.consensus.backend
+        if not self.ctx.ib_default:
+            return backend.broadcast_rows_flat(rows, tag, struct.isolated)
+        isolated = struct.isolated
+        outcomes = []
+        total = 0
+        for source, bits in rows:
+            if source in isolated:
+                outcomes.append([0] * len(bits))
+            else:
+                total += len(bits)
+                outcomes.append(bits)
+        if total:
+            backend.charge_honest_instances(tag, total)
+        return outcomes
+
+    def _honest_rows(self, struct, hdev_key):
+        """Every honest processor's M broadcast bits under one deviation
+        pattern (controlled slots stay ``None``)."""
+        ctx = self.ctx
+        rows: List[Optional[List[int]]] = [None] * ctx.n
+        touched: Dict[int, List[int]] = {}
+        for f, r in hdev_key:
+            touched.setdefault(r, []).append(f)
+        for i in ctx.honest:
+            cols = touched.get(i)
+            if cols is None:
+                rows[i] = struct.base_bits[i]
+            else:
+                bits = list(struct.base_bits[i])
+                for f in cols:
+                    bits[f - 1 if f > i else f] = 0
+                rows[i] = bits
+        return rows
+
+    def _ctrl_row(self, struct, row_of, valid, i):
+        """Elementwise M row of controlled pid ``i`` — its expectation is
+        its *own* codeword row, which differs from the honest one when
+        its effective input does."""
+        ctx = self.ctx
+        mask = struct.mask
+        controlled = ctx.controlled
+        exp = row_of[i]
+        row = []
+        for j in range(ctx.n):
+            if j == i:
+                row.append(True)
+            elif not mask[i, j]:
+                row.append(False)
+            elif j in controlled:
+                payload = valid.get((j, i))
+                row.append(payload is not None and payload == exp[j])
+            else:
+                row.append(row_of[j][j] == exp[j])
+        return row
+
+    def _slow_detect(self, struct, info, q, valid, cw):
+        """Outsider ``q``'s honest consistency check over its received
+        P_match symbols (reached only when a trusted controlled member
+        delivered a valid off-codeword payload)."""
+        ctx = self.ctx
+        mask = struct.mask
+        controlled = ctx.controlled
+        symbols = {}
+        for j in info.p_match:
+            if not mask[q, j]:
+                continue
+            symbols[j] = valid[(j, q)] if j in controlled else cw[j]
+        return not ctx.cached_consistent(symbols)
+
+    def _clean_for_decisions(self, info, missing, offcw):
+        """True when no deviation reaches an honest decision row: every
+        missing/off-codeword payload has its sender outside ``P_match``
+        or a controlled recipient."""
+        match_set = info.match_set
+        controlled = self.ctx.controlled
+        for f, r in missing:
+            if f in match_set and r not in controlled:
+                return False
+        for f, r in offcw:
+            if f in match_set and r not in controlled:
+                return False
+        return True
+
+    def _general_decisions(self, info, struct, row_of, cw, valid):
+        """Exact mirror of the vectorized line 2(c) decode, decoding
+        once per distinct symbol row."""
+        ctx = self.ctx
+        mask = struct.mask
+        controlled = ctx.controlled
+        p_match = info.p_match
+        ms_skip = self.ms_skip
+        decisions: Dict[int, tuple] = {}
+        row_cache: Dict[tuple, tuple] = {}
+        for pid in ctx.honest:
+            values = []
+            for j in p_match:
+                if j == pid:
+                    values.append(row_of[pid][pid])
+                elif not mask[pid, j]:
+                    values.append(_MISSING)
+                elif j in controlled:
+                    if ms_skip:
+                        values.append(cw[j])
+                    else:
+                        values.append(valid.get((j, pid), _MISSING))
+                else:
+                    values.append(cw[j])
+            key = tuple(values)
+            decided = row_cache.get(key)
+            if decided is None:
+                positions = {
+                    j: v for j, v in zip(p_match, values) if v != _MISSING
+                }
+                try:
+                    decided = ctx.cached_decode(positions)
+                except (DecodingError, ValueError):
+                    raise ProtocolInvariantError(
+                        "undecodable checking-stage symbols at pid %d"
+                        % pid
+                    )
+                row_cache[key] = decided
+            decisions[pid] = decided
+        return decisions
+
+    def _scatter_received(self, struct, row_of, valid):
+        """Materialize the checking-stage received matrix for the
+        delegated diagnosis stage."""
+        ctx = self.ctx
+        received = ctx.scatter()
+        mask = struct.mask
+        for j in ctx.honest:
+            received[mask[j], j] = row_of[j][j]
+        if self.ms_skip:
+            # Conforming controlled senders delivered their honest
+            # symbol to every live trusted recipient, like honest ones.
+            for f in struct.fab_recips:
+                received[mask[f], f] = row_of[f][f]
+        else:
+            for (f, r), payload in valid.items():
+                received[r, f] = payload
+        for i in range(ctx.n):
+            received[i, i] = row_of[i][i]
+        return received
+
+
+def run_cohort_instance(
+    ctx: CohortContext,
+    consensus: MultiValuedConsensus,
+    inputs: Sequence[int],
+):
+    """Run one cohort-eligible instance; byte-identical to
+    ``consensus.run(list(inputs))``.
+
+    Eligibility (checked by the service planner, not re-checked here):
+    an error-free constant-cost backend exposing the flat dispatch path,
+    a non-empty controlled set, and all honest processors sharing one
+    raw input value — that shared value's codeword is the baseline every
+    deviation is classified against.
+    """
+    config = consensus.config
+    n = config.n
+    honest = ctx.honest
+    effective = prepare_instance(consensus, inputs)
+    parts_by_pid = {
+        pid: consensus.parts_for(effective[pid]) for pid in range(n)
+    }
+    ref_value = effective[honest[0]]
+    ref_parts = parts_by_pid[honest[0]]
+    default_parts = consensus.parts_for(config.default_value)
+    runs_by_id: Dict[int, List[List[int]]] = {}
+    cw_runs: Dict[int, List[List[int]]] = {}
+    for pid in range(n):
+        parts = parts_by_pid[pid]
+        runs = runs_by_id.get(id(parts))
+        if runs is None:
+            runs = ctx.codeword_runs(consensus, parts)
+            runs_by_id[id(parts)] = runs
+        cw_runs[pid] = runs
+    # Controlled pids whose effective input differs from the honest one
+    # (input_value hooks): their M expectation rows need elementwise
+    # treatment; everything honest-facing still keys off the shared
+    # codeword (parts_for shares one object per value).
+    distinct = frozenset(
+        pid for pid in ctx.controlled
+        if parts_by_pid[pid] is not ref_parts
+    )
+    run = _InstanceRun(
+        ctx,
+        consensus,
+        cw_runs,
+        runs_by_id[id(ref_parts)],
+        ctx.part_tuples_for(ref_value, ref_parts),
+        distinct,
+        default_parts,
+    )
+    generation_results: List[GenerationResult] = []
+    decided_parts: Dict[int, List[tuple]] = {pid: [] for pid in honest}
+    default_used = False
+    generations = config.generations
+    network = consensus.network
+    backend = consensus.backend
+    g = 0
+    while g < generations:
+        struct = run.struct
+        if struct is None:
+            struct = ctx.structure_for(consensus.graph)
+            run.struct = struct
+        # Hook-free steady state: no matching_symbol call can fire
+        # (conforming by construction, or no live faulty edge remains),
+        # M/broadcast hooks are the base identity, and the graph state
+        # admits a steady plan.  Nothing can deviate, so no diagnosis
+        # can mutate the graph: every remaining generation replays as
+        # three constant charges plus the shared conforming record.
+        if (
+            (run.ms_skip or not struct.fab_recips)
+            and not run.distinct
+            and ctx.ib_default
+        ):
+            plan = ctx.steady_plan_for(struct)
+            if plan is not None and not plan.no_match:
+                sym_count = struct.honest_edges + struct.fab_sent
+                ref_tuples = run.ref_tuples
+                c = ctx.c
+                extras = consensus._view_extras
+                adversary = consensus.adversary
+                base_bool = struct.base_bool
+                controlled_sorted = ctx.controlled_sorted
+                mv_fire = plan.mv_fire
+                while g < generations:
+                    extras["generation"] = g
+                    sym_tag, m_tag, det_tag = ctx.tags_for(g)
+                    network.charge_round(sym_tag, sym_count, c)
+                    if mv_fire:
+                        view = consensus._make_view()
+                        for i in controlled_sorted:
+                            adversary.m_vector(
+                                i, list(base_bool[i]), g, view
+                            )
+                    if plan.m_total:
+                        backend.charge_honest_instances(
+                            m_tag, plan.m_total
+                        )
+                    if plan.n_out:
+                        backend.charge_honest_instances(
+                            det_tag, plan.n_out
+                        )
+                    part = ref_tuples[g]
+                    generation_results.append(GenerationResult(
+                        generation=g,
+                        outcome=GenerationOutcome.DECIDED_CHECKING,
+                        decisions=ctx.decisions_for(part),
+                        p_match=plan.p_match,
+                        detectors=[],
+                    ))
+                    for pid in honest:
+                        decided_parts[pid].append(part)
+                    g += 1
+                break
+        consensus._view_extras["generation"] = g
+        result = run.run_generation(g)
+        generation_results.append(result)
+        if result.outcome is GenerationOutcome.NO_MATCH_DEFAULT:
+            default_used = True
+            break
+        for pid in honest:
+            decided_parts[pid].append(result.decisions[pid])
+        g += 1
+    ctx.instances += 1
+    # The conforming decision rows are the reference parts themselves,
+    # whose packed value is the honest input — seed the shared packing
+    # cache so finalize never re-packs a conforming run.
+    ctx._values.setdefault(tuple(run.ref_tuples), ref_value)
+    return finalize_result(
+        consensus, inputs, honest, generation_results, decided_parts,
+        default_used, value_cache=ctx._values,
+    )

@@ -226,6 +226,90 @@ constant_cost_honest`) and the network keeps no journal, each
         return results
 
 
+def prepare_instance(
+    consensus: "MultiValuedConsensus", inputs: Sequence[int]
+) -> Dict[int, int]:
+    """Shared run prologue: validate ``inputs``, install the view extras
+    and fire the per-processor ``input_value`` hooks, returning the
+    effective (post-hook, range-normalized) value of every processor.
+
+    Both engines — the per-instance loop below and the service layer's
+    cohort runner (:mod:`repro.service.cohort`) — start a run with
+    exactly this sequence, so the hook order and arguments stateful
+    adversaries observe are identical whichever engine executes.
+    """
+    config = consensus.config
+    adversary = consensus.adversary
+    if len(inputs) != config.n:
+        raise ValueError(
+            "expected %d inputs, got %d" % (config.n, len(inputs))
+        )
+    consensus._view_extras = {
+        "code": consensus.code,
+        "config": config,
+        "diag_graph": consensus.graph,
+        "parts_of": consensus.parts_of,
+        "l_bits": config.l_bits,
+    }
+    effective: Dict[int, int] = {}
+    for pid in range(config.n):
+        value = inputs[pid]
+        if adversary.controls(pid):
+            value = adversary.input_value(
+                pid, value, consensus._make_view()
+            )
+            value %= 1 << config.l_bits
+        effective[pid] = value
+    return effective
+
+
+def finalize_result(
+    consensus: "MultiValuedConsensus",
+    inputs: Sequence[int],
+    honest: List[int],
+    generation_results: List[GenerationResult],
+    decided_parts: Dict[int, List[Sequence[int]]],
+    default_used: bool,
+    value_cache: Optional[Dict[tuple, int]] = None,
+) -> ConsensusResult:
+    """Shared run epilogue: reassemble per-generation decisions into the
+    L-bit outputs and snapshot the meter — identical for every engine.
+
+    ``value_cache`` optionally shares the parts→value packing across
+    runs (the cohort runner passes a per-cohort cache pre-seeded with
+    the conforming decision rows, whose packed value is the honest
+    input itself)."""
+    config = consensus.config
+    decisions: Dict[int, int] = {}
+    if default_used:
+        for pid in honest:
+            decisions[pid] = config.default_value
+    else:
+        # Identical per-generation decisions reassemble to the same
+        # value; share the packing across fault-free processors.
+        if value_cache is None:
+            value_cache = {}
+        for pid in honest:
+            key = tuple(tuple(part) for part in decided_parts[pid])
+            if key not in value_cache:
+                value_cache[key] = consensus.value_of(decided_parts[pid])
+            decisions[pid] = value_cache[key]
+
+    honest_inputs = [inputs[pid] for pid in honest]
+    honest_inputs_equal = len(set(honest_inputs)) == 1
+    return ConsensusResult(
+        decisions=decisions,
+        generation_results=generation_results,
+        meter=consensus.meter.snapshot(),
+        diagnosis_count=sum(
+            1 for r in generation_results if r.diagnosis_performed
+        ),
+        default_used=default_used,
+        honest_inputs_equal=honest_inputs_equal,
+        common_input=honest_inputs[0] if honest_inputs_equal else None,
+    )
+
+
 def execute_consensus(
     consensus: "MultiValuedConsensus", inputs: Sequence[int]
 ) -> ConsensusResult:
@@ -241,32 +325,11 @@ def execute_consensus(
     """
     config = consensus.config
     adversary = consensus.adversary
-    if len(inputs) != config.n:
-        raise ValueError(
-            "expected %d inputs, got %d" % (config.n, len(inputs))
-        )
     honest = [
         pid for pid in range(config.n)
         if not adversary.controls(pid)
     ]
-
-    consensus._view_extras = {
-        "code": consensus.code,
-        "config": config,
-        "diag_graph": consensus.graph,
-        "parts_of": consensus.parts_of,
-        "l_bits": config.l_bits,
-    }
-
-    effective: Dict[int, int] = {}
-    for pid in range(config.n):
-        value = inputs[pid]
-        if adversary.controls(pid):
-            value = adversary.input_value(
-                pid, value, consensus._make_view()
-            )
-            value %= 1 << config.l_bits
-        effective[pid] = value
+    effective = prepare_instance(consensus, inputs)
     # Honest processors holding the same value derive the same symbol
     # view; key the (expensive, deterministic) split by content so the
     # common all-equal-inputs case splits once, not n times — and only
@@ -349,30 +412,11 @@ def execute_consensus(
             decided_parts[pid].append(result.decisions[pid])
         g += 1
 
-    decisions: Dict[int, int] = {}
-    if default_used:
-        for pid in honest:
-            decisions[pid] = config.default_value
-    else:
-        # Identical per-generation decisions reassemble to the same
-        # value; share the packing across fault-free processors.
-        value_cache: Dict[tuple, int] = {}
-        for pid in honest:
-            key = tuple(tuple(part) for part in decided_parts[pid])
-            if key not in value_cache:
-                value_cache[key] = consensus.value_of(decided_parts[pid])
-            decisions[pid] = value_cache[key]
-
-    honest_inputs = [inputs[pid] for pid in honest]
-    honest_inputs_equal = len(set(honest_inputs)) == 1
-    return ConsensusResult(
-        decisions=decisions,
-        generation_results=generation_results,
-        meter=consensus.meter.snapshot(),
-        diagnosis_count=sum(
-            1 for r in generation_results if r.diagnosis_performed
-        ),
-        default_used=default_used,
-        honest_inputs_equal=honest_inputs_equal,
-        common_input=honest_inputs[0] if honest_inputs_equal else None,
+    return finalize_result(
+        consensus,
+        inputs,
+        honest,
+        generation_results,
+        decided_parts,
+        default_used,
     )

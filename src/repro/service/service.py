@@ -45,7 +45,13 @@ from repro.core.consensus import MultiValuedConsensus
 from repro.core.result import ConsensusResult, GenerationResult
 from repro.network.metrics import BitMeter, MeterSnapshot
 from repro.processors.adversary import Adversary
-from repro.service.spec import InstanceSpec, RunSpec, WorkloadSpec
+from repro.service.cohort import CohortContext, run_cohort_instance
+from repro.service.spec import (
+    InstanceSpec,
+    RunSpec,
+    WorkloadSpec,
+    cohort_key,
+)
 
 #: Anything ``run_many``/``submit`` accepts as one instance: a spec, the
 #: per-processor input sequence, or a single value every processor holds.
@@ -105,6 +111,19 @@ class ConsensusService:
         self._backend_error_free = bool(backend_cls.error_free)
         self._constant_cost = bool(
             getattr(backend_cls, "constant_cost_honest", False)
+        )
+        #: Attack-shape cohort contexts, keyed by ``cohort_key`` (see
+        #: :mod:`repro.service.cohort`); persistent like the encode
+        #: cache, so repeated ``run_many`` calls keep their warmth.
+        self._cohorts: Dict[tuple, CohortContext] = {}
+        # Cohort batching needs the vectorized engines' semantics plus
+        # the ideal backend's flat dispatch / bulk accounting surface.
+        self._cohort_capable = (
+            self.spec.vectorized
+            and self.spec.batch_generations
+            and self._backend_error_free
+            and self._constant_cost
+            and hasattr(backend_cls, "broadcast_rows_flat")
         )
 
     # -- engine construction ------------------------------------------------
@@ -293,7 +312,8 @@ class ConsensusService:
         self, specs: Sequence[InstanceSpec]
     ) -> List[ConsensusResult]:
         results: List[Optional[ConsensusResult]] = [None] * len(specs)
-        plan: List[Tuple[int, InstanceSpec, Adversary, bool]] = []
+        n = self.config.n
+        plan: List[Tuple[int, InstanceSpec, Adversary, bool, bool]] = []
         for idx, instance in enumerate(specs):
             adversary = instance.resolve(self.spec).make_adversary()
             clonable = (
@@ -301,14 +321,39 @@ class ConsensusService:
                 and self.spec.batch_generations
                 and self._backend_error_free
                 and not adversary.faulty
-                and len(instance.inputs) == self.config.n
+                and len(instance.inputs) == n
                 and len(set(instance.inputs)) == 1
             )
-            plan.append((idx, instance, adversary, clonable))
+            # Adversarial instances whose honest processors share one
+            # raw input value run through the attack-shape cohort
+            # engine (the honest check is pre-hook: input_value hooks
+            # fire exactly once, inside the cohort run).
+            cohortable = (
+                not clonable
+                and self._cohort_capable
+                and bool(adversary.faulty)
+                and len(instance.inputs) == n
+                and len({
+                    instance.inputs[pid]
+                    for pid in range(n)
+                    if pid not in adversary.faulty
+                }) == 1
+            )
+            plan.append((idx, instance, adversary, clonable, cohortable))
         self._prewarm_encodes(plan)
-        for idx, instance, adversary, clonable in plan:
+        for idx, instance, adversary, clonable, cohortable in plan:
             if clonable:
                 results[idx] = self._run_or_clone(instance, adversary)
+            elif cohortable:
+                key = cohort_key(self.spec, instance)
+                ctx = self._cohorts.get(key)
+                if ctx is None:
+                    ctx = CohortContext(self.config, self.code, adversary)
+                    self._cohorts[key] = ctx
+                engine = self._make_engine(adversary)
+                results[idx] = run_cohort_instance(
+                    ctx, engine, instance.inputs
+                )
             else:
                 engine = self._make_engine(adversary)
                 results[idx] = engine.run(list(instance.inputs))
@@ -325,31 +370,44 @@ class ConsensusService:
         actually replays payloads — an error-free backend whose honest
         broadcasts are *not* pure accounting (e.g. ``phase_king``).
         Under the ideal backend all-match generations reduce to
-        accounting and never touch a codeword, so there is nothing to
-        batch.
+        accounting and never touch a codeword, so honest instances have
+        nothing to batch there — but cohort-batched adversarial
+        instances always need the whole-run codewords of their honest
+        common value (deviations are classified against them), so those
+        values join the batch on any backend.
         """
-        if not (
+        pending: List[int] = []
+        seen = set()
+        if (
             self.spec.batch_generations
             and self._backend_error_free
             and not self._constant_cost
         ):
-            return
-        pending: List[int] = []
-        seen = set()
-        for idx, instance, adversary, clonable in plan:
-            if adversary.faulty or len(set(instance.inputs)) != 1:
+            for idx, instance, adversary, clonable, cohortable in plan:
+                if adversary.faulty or len(set(instance.inputs)) != 1:
+                    continue
+                if clonable and self._template is not None:
+                    continue  # will be cloned: no engine run, no encode
+                value = instance.inputs[0]
+                if value in seen:
+                    continue
+                seen.add(value)
+                pending.append(value)
+                if clonable:
+                    # Only the first clonable instance runs an engine (it
+                    # becomes the template); later ones clone.
+                    break
+        for idx, instance, adversary, clonable, cohortable in plan:
+            if not cohortable:
                 continue
-            if clonable and self._template is not None:
-                continue  # will be cloned: no engine run, no encode
-            value = instance.inputs[0]
-            if value in seen:
-                continue
-            seen.add(value)
-            pending.append(value)
-            if clonable:
-                # Only the first clonable instance runs an engine (it
-                # becomes the template); later ones clone.
-                break
+            value = next(
+                instance.inputs[pid]
+                for pid in range(self.config.n)
+                if pid not in adversary.faulty
+            )
+            if value not in seen:
+                seen.add(value)
+                pending.append(value)
         parts_lists = [self.parts_for(value) for value in pending]
         missing = [
             parts

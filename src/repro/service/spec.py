@@ -24,7 +24,11 @@ from typing import Optional, Sequence, Tuple
 
 from repro.core.config import ConsensusConfig
 from repro.processors.adversary import Adversary
-from repro.processors.registry import make_attack, normalize_attack
+from repro.processors.registry import (
+    attack_cohort_id,
+    make_attack,
+    normalize_attack,
+)
 
 
 @dataclass(frozen=True)
@@ -155,6 +159,26 @@ class InstanceSpec:
         if self.faulty is not None:
             overrides["faulty"] = self.faulty
         return replace(spec, **overrides) if overrides else spec
+
+
+def cohort_key(spec: RunSpec, instance: InstanceSpec) -> Tuple:
+    """The attack-shape key cohort batching groups instances by.
+
+    Instances of one batch with equal keys run the protocol over the
+    same deployment shape — same ``(n, t, L, D)`` symbol layout and the
+    same :func:`~repro.processors.registry.attack_cohort_id` (canonical
+    attack, declared faulty set; seeds excluded) — so they share scatter
+    buffers, M/clique inputs and diagnosis plans.  Input values and
+    seeds deliberately stay out of the key: they vary freely within a
+    cohort.
+    """
+    effective = instance.resolve(spec)
+    return (
+        effective.n,
+        effective.resolved_t,
+        effective.l_bits,
+        effective.d_bits,
+    ) + attack_cohort_id(effective.attack, effective.faulty)
 
 
 @dataclass(frozen=True)

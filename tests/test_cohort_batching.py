@@ -1,0 +1,187 @@
+"""Cohort batching: mixed adversarial batches, byte for byte.
+
+``run_many`` groups adversarial instances by attack shape
+(:func:`repro.service.spec.cohort_key`) and runs each cohort through a
+shared generation context — scatter buffers, M/Detected/Trust view
+construction, clique-search inputs and diagnosis plans are built once
+per shape.  The contract under test: cohort batching is
+*observationally free*.  Per instance, the returned result must equal
+the looped one-shot reference field for field, for every registered
+attack, whatever the batch composition (interleaved attacks, duplicate
+cohorts, singleton cohorts, differing seeds within one cohort), the
+executor (serial / process / work-stealing) or the shard/worker count —
+and must equal the **forced-scalar** (``vectorized=False``) engine as
+well: the same equivalence discipline the vectorized adversarial path
+is held to, extended to batches.
+"""
+
+import pytest
+
+from repro.core.consensus import MultiValuedConsensus
+from repro.processors import ATTACKS
+from repro.service import (
+    ConsensusService,
+    InstanceSpec,
+    ProcessExecutor,
+    RunSpec,
+    SerialExecutor,
+    WorkStealingExecutor,
+)
+
+#: The benchmark's mixed-workload cycle (honest + four attack shapes).
+MIXED_CYCLE = ["none", "corrupt", "crash", "trust_poison", "random"]
+
+
+def looped_reference(spec, instances, vectorized=True):
+    """One fresh deployment per instance — the byte-identity baseline.
+
+    ``vectorized=False`` forces the scalar per-processor engine, the
+    strictest reference: cohort batching must replay even its hook
+    order and arguments exactly.
+    """
+    results = []
+    for instance in instances:
+        run_spec = instance.resolve(spec)
+        consensus = MultiValuedConsensus(
+            run_spec.make_config(),
+            adversary=run_spec.make_adversary(),
+            vectorized=vectorized,
+        )
+        results.append(consensus.run(list(instance.inputs)))
+    return results
+
+
+def cohort_batch(spec, attack, values):
+    """One attack shape exercised every way a cohort can vary:
+    differing seeds within the cohort, a duplicate instance, and an
+    interleaved honest (out-of-cohort) instance."""
+    n = spec.n
+    return [
+        InstanceSpec(inputs=(values[0],) * n, attack=attack, seed=1),
+        InstanceSpec(inputs=(values[1],) * n),
+        InstanceSpec(inputs=(values[2],) * n, attack=attack, seed=5),
+        InstanceSpec(inputs=(values[0],) * n, attack=attack, seed=1),
+    ]
+
+
+def interleaved_cycle(n, count, stride=2):
+    """The benchmark's mixed cycle interleaved across ``count``
+    instances: duplicate cohorts (each attack recurs), differing seeds
+    within each cohort, plus one singleton-cohort straggler."""
+    instances = [
+        InstanceSpec(
+            inputs=((0xC0FFEE * (idx + 1)) % (1 << 64),) * n,
+            attack=MIXED_CYCLE[idx % len(MIXED_CYCLE)],
+            seed=idx // stride,
+        )
+        for idx in range(count)
+    ]
+    instances.append(
+        InstanceSpec(inputs=(0xD1CE,) * n, attack="slow_bleed", seed=9)
+    )
+    return instances
+
+
+class TestEveryAttackCohorts:
+    """Every registered attack, at every tier-1 n, cohort-batched."""
+
+    @pytest.mark.parametrize("attack", sorted(ATTACKS))
+    @pytest.mark.parametrize("n,l_bits", [(4, 64), (7, 256), (31, 64)])
+    def test_cohort_batch_vs_looped(self, attack, n, l_bits):
+        spec = RunSpec(n=n, l_bits=l_bits)
+        values = [(0x9D * (i + 1)) % (1 << l_bits) for i in range(3)]
+        instances = cohort_batch(spec, attack, values)
+        reference = looped_reference(spec, instances)
+        results = ConsensusService(spec).run_many(instances)
+        assert results == reference
+        assert sum(r.total_bits for r in results) == sum(
+            r.total_bits for r in reference
+        )
+
+    @pytest.mark.parametrize("attack", sorted(ATTACKS))
+    @pytest.mark.parametrize("n", [4, 7])
+    def test_forced_scalar_reference(self, attack, n):
+        # The scalar engine fires every adversary hook one processor at
+        # a time; the cohort path must be indistinguishable from it.
+        spec = RunSpec(n=n, l_bits=128)
+        values = [0x51 * (i + 2) for i in range(3)]
+        instances = cohort_batch(spec, attack, values)
+        scalar = looped_reference(spec, instances, vectorized=False)
+        results = ConsensusService(spec).run_many(instances)
+        assert results == scalar
+
+
+class TestInterleavedExecutors:
+    """The mixed cycle through every executor and worker count."""
+
+    @pytest.mark.parametrize(
+        "executor",
+        [
+            SerialExecutor(),
+            ProcessExecutor(shards=2),
+            ProcessExecutor(shards=5),
+            WorkStealingExecutor(workers=2),
+            WorkStealingExecutor(workers=4),
+            "work_steal",
+        ],
+        ids=[
+            "serial",
+            "process-2",
+            "process-5",
+            "steal-2",
+            "steal-4",
+            "steal-by-name",
+        ],
+    )
+    def test_mixed_cycle_byte_identical(self, executor):
+        spec = RunSpec(n=7, l_bits=256)
+        instances = interleaved_cycle(7, 12)
+        reference = looped_reference(spec, instances)
+        results = ConsensusService(spec).run_many(
+            instances, executor=executor
+        )
+        assert results == reference
+
+    def test_n31_singleton_cohorts(self):
+        # One instance per cycle attack: every cohort is a singleton,
+        # and the work-stealing queue has exactly one unit per cohort.
+        spec = RunSpec(n=31, l_bits=64)
+        instances = [
+            InstanceSpec(inputs=(0xACE + idx,) * 31, attack=attack, seed=idx)
+            for idx, attack in enumerate(MIXED_CYCLE)
+        ]
+        reference = looped_reference(spec, instances)
+        serial = ConsensusService(spec).run_many(instances)
+        stolen = ConsensusService(spec).run_many(
+            instances, executor=WorkStealingExecutor(workers=2)
+        )
+        assert serial == reference
+        assert stolen == reference
+
+
+class TestWarmService:
+    """Cohort caches persist across batches; reruns must stay exact."""
+
+    def test_warm_rerun_byte_identical(self):
+        # The steady-state shape the service exists for: the same warm
+        # long-lived service re-running a workload exercises the cached
+        # cohort plans (steady / replay / fast-forward lanes) instead
+        # of rebuilding them — results must not drift by a bit.
+        spec = RunSpec(n=7, l_bits=256)
+        instances = interleaved_cycle(7, 10)
+        reference = looped_reference(spec, instances)
+        service = ConsensusService(spec)
+        first = service.run_many(instances)
+        second = service.run_many(instances)
+        third = service.run_many(instances)
+        assert first == reference
+        assert second == reference
+        assert third == reference
+
+    def test_cohort_contexts_grouped_by_shape(self):
+        # The four adversarial cycle attacks form four cohorts; honest
+        # instances run the clone path and never create one.
+        spec = RunSpec(n=7, l_bits=64)
+        service = ConsensusService(spec)
+        service.run_many(interleaved_cycle(7, 10))
+        assert len(service._cohorts) == 5  # 4 cycle shapes + slow_bleed

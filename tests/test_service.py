@@ -25,6 +25,7 @@ from repro.service import (
     WorkloadSpec,
 )
 from repro.service import engine as engine_module
+from repro.service import service as service_module
 
 
 def looped_reference(spec, instances):
@@ -173,16 +174,25 @@ class TestTemplateFastPath:
 
     def test_adversarial_and_mixed_instances_execute(self, monkeypatch):
         calls = self.count_engine_runs(monkeypatch)
+        cohort_runs = []
+        original = service_module.run_cohort_instance
+
+        def spy(ctx, consensus, inputs):
+            cohort_runs.append(tuple(inputs))
+            return original(ctx, consensus, inputs)
+
+        monkeypatch.setattr(service_module, "run_cohort_instance", spy)
         spec = RunSpec(n=7, l_bits=128)
         service = ConsensusService(spec)
         instances = [
             InstanceSpec(inputs=(5,) * 7),                      # template
             InstanceSpec(inputs=(6,) * 7),                      # clone
-            InstanceSpec(inputs=(5,) * 7, attack="crash"),      # executes
+            InstanceSpec(inputs=(5,) * 7, attack="crash"),      # cohort
             InstanceSpec(inputs=tuple(range(7))),               # executes
         ]
         service.run_many(instances)
-        assert len(calls) == 3
+        assert len(calls) == 2
+        assert len(cohort_runs) == 1
 
     def test_template_survives_across_batches(self, monkeypatch):
         calls = self.count_engine_runs(monkeypatch)
