@@ -11,7 +11,7 @@ seed baseline, and an assertion-friendly copy of the metered bit totals
 ``--faults`` adds the adversarial grid: every attack from
 the pinned ``repro.processors.FAULT_GRID_ATTACKS`` set over
 fault-injection (n, L) points
-(n = 7 through 127), each run on the vectorized adversarial path —
+(n = 7 through 255), each run on the vectorized adversarial path —
 whose diagnosis stage dispatches through the grouped
 ``broadcast_bits_many_grouped`` backend call — *and* the forced-scalar
 reference engine.  The two runs must agree byte-for-byte (decisions,
@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import random
 import time
@@ -96,6 +97,9 @@ EXPECTED_BITS = {
     (31, 4096): 58170880,
     (31, 65536): 222381600,
     (127, 65536): 61095134604,
+    (255, 4096): 50608685160,
+    (255, 16384): 202434740640,
+    (511, 16384): 1498118756750,
 }
 
 FULL_GRID = [
@@ -105,18 +109,29 @@ FULL_GRID = [
     (10, 1 << 16),
     (31, 1 << 16),
     (127, 1 << 16),
+    (255, 1 << 14),
+    (511, 1 << 14),
 ]
-QUICK_GRID = [(4, 1 << 12), (7, 1 << 13), (31, 1 << 12)]
+QUICK_GRID = [(4, 1 << 12), (7, 1 << 13), (31, 1 << 12), (255, 1 << 12)]
 
 #: Fault-injection grids: every FAULT_GRID_ATTACKS entry at each (n, L)
 #: point, run on both the vectorized and forced-scalar adversarial path.  The
-#: scalar engine made n = 31/63 impractical, and the grouped diagnosis
-#: broadcasts extend the practical range to n = 127; the quick grid
-#: keeps the n = 7 acceptance point (one Byzantine generation per
-#: attack type), an n = 31 point, and the n = 127 point so CI exercises
-#: the grouped-diagnosis byte-identity check on every PR.
-FULL_FAULT_GRID = [(7, 1 << 16), (31, 1 << 12), (63, 1 << 12), (127, 1 << 12)]
-QUICK_FAULT_GRID = [(7, 1 << 12), (31, 1 << 12), (127, 1 << 12)]
+#: scalar engine made n = 31/63 impractical, the grouped diagnosis
+#: broadcasts extended the practical range to n = 127, and the packed
+#: wire format + exchange arenas open n = 255; the quick grid keeps the
+#: n = 7 acceptance point (one Byzantine generation per attack type),
+#: an n = 31 point, the n = 127 point, and a small-L n = 255 point so
+#: CI exercises the packed-lane byte-identity check on every PR (the
+#: n = 255 row is time-budgeted: the forced-scalar half dominates at
+#: roughly five seconds per attack, so it rides on L = 2^10).
+FULL_FAULT_GRID = [
+    (7, 1 << 16),
+    (31, 1 << 12),
+    (63, 1 << 12),
+    (127, 1 << 12),
+    (255, 1 << 12),
+]
+QUICK_FAULT_GRID = [(7, 1 << 12), (31, 1 << 12), (127, 1 << 12), (255, 1 << 10)]
 
 #: Deterministic (machine-independent) adversarial bit totals per
 #: (n, L, attack) — asserted on every --faults run, against both engine
@@ -153,6 +168,18 @@ EXPECTED_FAULT_BITS = {
     (127, 4096, "false_detect"): 5377009066,
     (127, 4096, "slow_bleed"): 12391090530,
     (127, 4096, "trust_poison"): 5377009066,
+    (255, 1024, "corrupt"): 22718300354,
+    (255, 1024, "crash"): 16869220344,
+    (255, 1024, "equivocate"): 22718300354,
+    (255, 1024, "false_detect"): 19932343770,
+    (255, 1024, "slow_bleed"): 28567039004,
+    (255, 1024, "trust_poison"): 19932343770,
+    (255, 4096, "corrupt"): 56457423730,
+    (255, 4096, "crash"): 50607661032,
+    (255, 4096, "equivocate"): 56457423730,
+    (255, 4096, "false_detect"): 42527640810,
+    (255, 4096, "slow_bleed"): 85701116820,
+    (255, 4096, "trust_poison"): 42527640810,
 }
 
 #: Deterministic input seed: every run times the identical workload.
@@ -400,6 +427,12 @@ def main() -> None:
         "mode": "quick" if args.quick else "full",
         "python": platform.python_version(),
         "machine": platform.machine(),
+        # Both CPU counts: the box's total and the slice this process may
+        # actually schedule on (cgroup/affinity limited) — wall-clock
+        # numbers are only comparable between runs with similar slices.
+        "cpus": os.cpu_count(),
+        "cpus_available": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity") else os.cpu_count(),
         "input_seed": INPUT_SEED,
         "seed_baseline": [
             {"n": n, "l_bits": l, **vals}

@@ -63,6 +63,30 @@ def diagnosis_stage_bits(n: int, t: int, d_bits: float, b: float) -> float:
     return (n - t) * d_bits * b / (n - 2 * t) + n * (n - t) * b
 
 
+def failure_free_total_bits(
+    n: int, t: int, l_bits: float, d_bits: float, b: float
+) -> float:
+    """Equation (1) without the diagnosis term: the failure-free cost.
+
+    When no processor deviates, diagnosis never fires and the algorithm
+    spends exactly ``⌈L/D⌉`` generations of matching + checking — the
+    model the measured failure-free sweeps are fitted against.  The
+    ``L``-scaling part is the matching data path,
+    ``n(n-1)/(n-2t) · D`` per generation — the paper's O(nL) term —
+    while the M-flag and Detected broadcasts contribute the
+    ``(n(n-1) + t) B`` per-generation overhead that washes out as
+    ``L → ∞`` with the optimal ``D ~ √L``.
+    """
+    _validate(n, t)
+    if d_bits <= 0:
+        raise ValueError("d_bits must be positive, got %r" % d_bits)
+    generations = math.ceil(l_bits / d_bits)
+    per_generation = (
+        matching_stage_bits(n, t, d_bits, b) + checking_stage_bits(n, t, b)
+    )
+    return per_generation * generations
+
+
 def consensus_total_bits(
     n: int, t: int, l_bits: float, d_bits: float, b: float
 ) -> float:
@@ -206,6 +230,123 @@ def fitzi_hirt_bits(
     digest_exchange = n * (n - 1) * kappa
     digest_agreement = (2 * kappa + 1) * n * b
     return delivery + digest_exchange + digest_agreement
+
+
+def linbft_amortized_bits(
+    n: int, l_bits: float, kappa: float = 256.0
+) -> float:
+    """LinBFT (Yang 2018) amortized communication model: ``O(nL + nκ)``.
+
+    LinBFT reaches amortized-linear communication per value by pipelining
+    erasure-coded block dissemination with three threshold-signature
+    voting rounds: ``n L`` bits of coded delivery plus ``3 n κ`` bits of
+    aggregated signatures, with ``κ`` the signature security parameter.
+    The overlay is the natural asymptotic companion to our sweep — the
+    same ``Θ(nL)`` leading term, but bought with cryptographic
+    assumptions (failure probability ``2^-κ``) rather than the paper's
+    error-free coding, and amortized over a pipeline rather than
+    worst-case per instance.
+    """
+    if n < 2:
+        raise ValueError("need n >= 2, got %d" % n)
+    if kappa <= 0:
+        raise ValueError("kappa must be positive, got %r" % kappa)
+    return n * l_bits + 3.0 * n * kappa
+
+
+# -- measured sweep --------------------------------------------------------------
+
+
+def measured_complexity_sweep(
+    ns, l_bits: int, kappa: float = 128.0
+) -> list:
+    """Run one failure-free instance per ``n`` and compare bits to models.
+
+    For each ``n`` (with ``t = ⌊(n-1)/3⌋``) this runs the real engine at
+    ``l_bits`` and records, next to the measured totals:
+
+    * ``onl_bits`` — the O(nL) data-path term
+      ``n(n-1)/(n-2t) · D · ⌈L/D⌉`` (padded L); the measured
+      matching-symbol bits must equal it *exactly*;
+    * ``model_bits`` — :func:`failure_free_total_bits` at the engine's
+      actual ``D``, the full failure-free Eq. (1) prediction;
+    * the §1 comparison curves at the same point:
+      :func:`fitzi_hirt_bits`, :func:`bitwise_baseline_bits` and the
+      :func:`linbft_amortized_bits` overlay.
+
+    Failure-free totals are input-independent, so the sweep is
+    deterministic.  Core modules are imported lazily — analysis stays
+    import-light for the formula-only consumers.
+    """
+    from repro.broadcast_bit.ideal import default_b
+    from repro.core.config import ConsensusConfig
+    from repro.core.consensus import MultiValuedConsensus
+
+    records = []
+    for n in ns:
+        t = (n - 1) // 3
+        config = ConsensusConfig.create(n=n, t=t, l_bits=int(l_bits))
+        result = MultiValuedConsensus(config).run(
+            [(1 << config.l_bits) - 1] * n
+        )
+        if not result.error_free:
+            raise AssertionError("failure-free run deviated at n=%d" % n)
+        measured = result.meter.total_bits
+        data_bits = sum(
+            bits
+            for tag, bits in result.meter.bits_by_tag.items()
+            if tag.endswith("matching.symbols")
+        )
+        b = default_b(n)
+        padded = config.generations * config.d_bits
+        onl = leading_term_per_bit(n, t) * padded
+        model = failure_free_total_bits(
+            n, t, config.l_bits, config.d_bits, b
+        )
+        records.append(
+            {
+                "n": n,
+                "t": t,
+                "l_bits": config.l_bits,
+                "d_bits": config.d_bits,
+                "generations": config.generations,
+                "b": b,
+                "measured_bits": measured,
+                "data_bits": data_bits,
+                "onl_bits": onl,
+                "model_bits": model,
+                "model_ratio": measured / model,
+                "fitzi_hirt_bits": fitzi_hirt_bits(
+                    n, t, config.l_bits, kappa, b
+                ),
+                "bitwise_bits": bitwise_baseline_bits(config.l_bits, b),
+                "linbft_bits": linbft_amortized_bits(
+                    n, config.l_bits, kappa
+                ),
+            }
+        )
+    return records
+
+
+def fit_model_factor(records) -> float:
+    """Least-squares scale of measured totals onto the Eq. (1) model.
+
+    Minimises ``Σ (measured - α · model)²`` over the sweep, where
+    ``model`` is :func:`failure_free_total_bits` — the analytic curve
+    whose L-scaling term is the paper's O(nL).  The acceptance check
+    asserts ``α ≈ 1`` and every per-point ``measured / (α · model)``
+    stays within a constant band: the engine implements the formula, no
+    hidden power of ``n`` snuck into the data plane.  (The bare O(nL)
+    term alone cannot absorb a fixed-L sweep — the ``n(n-1)B``
+    per-generation flag overhead legitimately dominates small L, which
+    is exactly what the model curve accounts for; the data-path bits
+    are asserted *equal* to the O(nL) term instead.)
+    """
+    num = sum(r["measured_bits"] * r["model_bits"] for r in records)
+    den = sum(r["model_bits"] ** 2 for r in records)
+    if den <= 0:
+        raise ValueError("sweep records carry no model term")
+    return num / den
 
 
 def crossover_vs_bitwise(n: int, t: int, b: float) -> float:

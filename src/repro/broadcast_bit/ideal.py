@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Callable, Dict, FrozenSet, Optional
 
 from repro.broadcast_bit.interface import BroadcastBackend
+from repro.utils.bits import PackedBits
 
 
 def default_b(n: int) -> int:
@@ -79,26 +80,40 @@ class AccountedIdealBroadcast(BroadcastBackend):
         The returned per-pid lists are one shared row (agreement means
         every processor receives the same bits); callers must treat them
         as read-only, the same contract as :meth:`broadcast_bits_many`.
+
+        A :class:`~repro.utils.bits.PackedBits` row skips the per-bit
+        validation (packed rows are 0/1 by construction) and, for an
+        honest source, is returned *as-is* — the same packed object
+        shared by every pid, the bulk packed accounting the wire format
+        exists for.  Controlled sources unpack, replay the scalar hook
+        sequence and repack, so adversaries observe per-bit semantics
+        unchanged.
         """
+        packed = isinstance(bits, PackedBits)
         if source in ignored:
+            if packed:
+                return dict.fromkeys(range(self.n), PackedBits.zeros(len(bits)))
             return dict.fromkeys(range(self.n), [0] * len(bits))
-        for bit in bits:
-            if bit not in (0, 1):
-                raise ValueError("bit must be 0 or 1, got %r" % (bit,))
+        if not packed:
+            for bit in bits:
+                if bit not in (0, 1):
+                    raise ValueError("bit must be 0 or 1, got %r" % (bit,))
         if self.adversary.controls(source):
             outcomes = []
             view = self._view()  # one snapshot for the call's instances
-            for bit in bits:
+            for bit in bits.tolist() if packed else bits:
                 instance = self._next_instance()
                 value = self.adversary.ideal_broadcast_bit(
                     source, bit, instance, view
                 )
                 outcomes.append(1 if value else 0)
+            if packed:
+                outcomes = PackedBits.from_bits(outcomes)
         else:
             # Honest source: the outcome is the input; one bulk instance
             # bump replaces the per-bit counter walk.
             self.stats.instances += len(bits)
-            outcomes = list(bits)
+            outcomes = bits if packed else list(bits)
         self.stats.bits_charged += self._b * len(bits)
         self.meter.add(
             tag,
@@ -140,28 +155,38 @@ class AccountedIdealBroadcast(BroadcastBackend):
         total = 0
         charged_rows = 0
         for source, plan in rows:
-            bits = list(plan())
+            bits = plan()
+            packed = isinstance(bits, PackedBits)
+            if not packed:
+                bits = list(bits)
             if source in ignored:
-                outcomes.append(
-                    dict.fromkeys(range(self.n), [0] * len(bits))
+                zero = (
+                    PackedBits.zeros(len(bits)) if packed
+                    else [0] * len(bits)
                 )
+                outcomes.append(dict.fromkeys(range(self.n), zero))
                 continue
             if not 0 <= source < self.n:
                 raise ValueError("source %d out of range" % source)
-            for bit in bits:
-                if bit not in (0, 1):
-                    raise ValueError("bit must be 0 or 1, got %r" % (bit,))
+            if not packed:
+                for bit in bits:
+                    if bit not in (0, 1):
+                        raise ValueError(
+                            "bit must be 0 or 1, got %r" % (bit,)
+                        )
             if self.adversary.controls(source):
                 # Scalar per-instance replay: one view snapshot for the
                 # row, then one hook per bit with sequential instance ids.
                 view = self._view()
                 row = []
-                for bit in bits:
+                for bit in bits.tolist() if packed else bits:
                     instance = self._next_instance()
                     value = self.adversary.ideal_broadcast_bit(
                         source, bit, instance, view
                     )
                     row.append(1 if value else 0)
+                if packed:
+                    row = PackedBits.from_bits(row)
             else:
                 self.stats.instances += len(bits)
                 row = bits
@@ -231,7 +256,9 @@ class AccountedIdealBroadcast(BroadcastBackend):
         adversary hooks observe the exact per-instance sequence.
 
         The returned per-pid lists of one row are shared (not copied per
-        pid); callers must treat them as read-only.
+        pid); callers must treat them as read-only.  Packed rows
+        (:class:`~repro.utils.bits.PackedBits`) skip per-bit validation
+        and are shared without copying — the bulk packed accounting path.
         """
         if not rows:
             return []
@@ -243,13 +270,18 @@ class AccountedIdealBroadcast(BroadcastBackend):
         total = 0
         outcomes: list = []
         for source, bits in rows:
-            for bit in bits:
-                if bit not in (0, 1):
-                    raise ValueError("bit must be 0 or 1, got %r" % (bit,))
+            if isinstance(bits, PackedBits):
+                row = bits  # 0/1 by construction; shared as-is
+            else:
+                for bit in bits:
+                    if bit not in (0, 1):
+                        raise ValueError(
+                            "bit must be 0 or 1, got %r" % (bit,)
+                        )
+                row = list(bits)
             if not 0 <= source < self.n:
                 raise ValueError("source %d out of range" % source)
             total += len(bits)
-            row = list(bits)
             outcomes.append(dict.fromkeys(range(self.n), row))
         self.stats.instances += total
         self.stats.bits_charged += self._b * total

@@ -21,6 +21,7 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.network.metrics import BitMeter
 from repro.processors.adversary import Adversary, GlobalView
+from repro.utils.bits import PackedBits
 
 #: A deferred row of a grouped broadcast: ``(source, plan)`` where
 #: ``plan()`` returns the source's bit string.  The plan is invoked
@@ -167,12 +168,28 @@ class BroadcastBackend(abc.ABC):
             ``pid -> list of received bits`` for every pid, aligned with
             ``bits``.  Under an error-free backend every fault-free
             pid's list is equal.
+
+        Packed rows: when ``bits`` is a :class:`~repro.utils.bits.\
+PackedBits` row, the return value maps each pid to a ``PackedBits``
+        row instead of a list ("packed in, packed out").  This scalar
+        loop — unpack, one instance per bit, repack — is the contractual
+        reference every backend's packed path must match bit-for-bit;
+        all four backends therefore support packed rows, and only the
+        accounted-ideal backend overrides it with bulk packed
+        accounting.
         """
+        packed = isinstance(bits, PackedBits)
+        bit_list = bits.tolist() if packed else bits
         results: Dict[int, List[int]] = {pid: [] for pid in range(self.n)}
-        for bit in bits:
+        for bit in bit_list:
             outcome = self.broadcast_bit(source, bit, tag, ignored)
             for pid in range(self.n):
                 results[pid].append(outcome[pid])
+        if packed:
+            return {
+                pid: PackedBits.from_bits(values)
+                for pid, values in results.items()
+            }
         return results
 
     def broadcast_bits_many(
@@ -242,11 +259,16 @@ class BroadcastBackend(abc.ABC):
         [[1, 0], [0, 1]]
 
         Returns one ``pid -> bits`` dict per row, aligned with ``rows``.
+        A plan returning a :class:`~repro.utils.bits.PackedBits` row
+        yields packed outcomes (see :meth:`broadcast_bits`).
         """
-        return [
-            self.broadcast_bits(source, list(plan()), tag, ignored)
-            for source, plan in rows
-        ]
+        results = []
+        for source, plan in rows:
+            bits = plan()
+            if not isinstance(bits, PackedBits):
+                bits = list(bits)
+            results.append(self.broadcast_bits(source, bits, tag, ignored))
+        return results
 
     def charge_honest_instances(self, tag: str, count: int) -> None:
         """Account ``count`` honest-source instances under ``tag`` in O(1).

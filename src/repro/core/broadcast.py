@@ -354,7 +354,9 @@ class MultiValuedBroadcast:
             from_source[peer] = None
         for batch in delivery.batches:
             for sender, recipient, payload in zip(
-                batch.senders.tolist(), batch.receivers.tolist(), batch.payloads
+                batch.senders.tolist(),
+                batch.receivers.tolist(),
+                batch.payload_list(),
             ):
                 if sender == source and mask[recipient, source]:
                     from_source[recipient] = valid_symbol(payload)
@@ -412,7 +414,9 @@ class MultiValuedBroadcast:
         delivery = self.network.deliver_arrays()
         for batch in delivery.batches:
             for sender, recipient, payload in zip(
-                batch.senders.tolist(), batch.receivers.tolist(), batch.payloads
+                batch.senders.tolist(),
+                batch.receivers.tolist(),
+                batch.payload_list(),
             ):
                 if sender in participating_set and mask[recipient, sender]:
                     value_received = valid_symbol(payload)

@@ -83,6 +83,7 @@ class MultiValuedConsensus:
         code=None,
         parts_cache: Optional[Dict[int, List[List[int]]]] = None,
         encode_cache: Optional[Dict[tuple, List[List[int]]]] = None,
+        arena=None,
     ):
         """Set up one deployment.
 
@@ -105,6 +106,13 @@ class MultiValuedConsensus:
                 keyed by the run's part tuples; the service pre-fills
                 it with one cross-instance matmat.  Default: ``None``
                 (encode locally).
+            arena: a preallocated
+                :class:`~repro.service.arena.ExchangeArena` for the
+                vectorized data plane; the service passes its own so
+                the ``(n, n)`` buffers persist across instances.
+                Default: built lazily on the first vectorized
+                generation (:meth:`ensure_arena`) — forced-scalar runs
+                never build one.
         """
         self.config = config
         #: When True (the default), failure-free generations run through
@@ -138,6 +146,10 @@ class MultiValuedConsensus:
         #: Optional service-shared whole-run encode cache (see
         #: :class:`repro.service.engine._FastGenerationState`).
         self.encode_cache = encode_cache
+        #: The vectorized data plane's preallocated exchange arena;
+        #: ``None`` until a vectorized generation needs it (and forever
+        #: on forced-scalar runs — the arena-reuse tests assert that).
+        self.arena = arena
         self._view_extras: Dict[str, object] = {}
         self.backend = config.make_backend(
             self.meter, self.adversary, self._make_view
@@ -189,6 +201,24 @@ class MultiValuedConsensus:
         if total_bits > config.l_bits:
             return packed >> (total_bits - config.l_bits)
         return packed
+
+    def ensure_arena(self):
+        """This instance's exchange arena, built on first need.
+
+        Callers (the engine) only invoke this on the vectorized
+        error-free path; buffers inside the arena are in turn allocated
+        lazily, so merely ensuring it never allocates an ``(n, n)``
+        matrix.
+        """
+        if self.arena is None:
+            # Imported lazily: repro.service imports this module at
+            # package init, so a top-level import here would be circular.
+            from repro.service.arena import ExchangeArena
+
+            self.arena = ExchangeArena.for_symbol_bits(
+                self.config.n, self.config.symbol_bits
+            )
+        return self.arena
 
     def _make_view(self) -> GlobalView:
         return GlobalView(

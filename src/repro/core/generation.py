@@ -56,7 +56,7 @@ from repro.graphs.cliques import find_clique, find_clique_matrix
 from repro.graphs.diagnosis_graph import DiagnosisGraph
 from repro.network.simulator import RoundDelivery, SyncNetwork
 from repro.processors.adversary import Adversary, GlobalView
-from repro.utils.bits import bits_to_int, is_exact_int
+from repro.utils.bits import PackedBits, is_exact_int
 
 #: Sentinel for "no valid symbol received" in the vectorized view matrix
 #: (symbols are non-negative, so -1 is unambiguous in every dtype).
@@ -100,6 +100,7 @@ class GenerationProtocol:
         view_provider: Callable[[], GlobalView],
         vectorized: bool = True,
         caches: Optional[ProtocolCaches] = None,
+        arena=None,
     ):
         self.config = config
         self.code = code
@@ -138,8 +139,27 @@ class GenerationProtocol:
         #: do not fit an int64, so they fall back to object arrays (the
         #: boolean mask algebra is dtype-independent).
         self._symbol_dtype = np.int64 if self.c <= 62 else object
+        #: Preallocated (n, n) exchange/M/adjacency/Detected/Trust
+        #: buffers; the engine owner (service or one-shot consensus)
+        #: passes its arena so buffers persist across generations.
+        self._arena = arena
 
     # -- helpers -----------------------------------------------------------------
+
+    def _ensure_arena(self):
+        """The protocol's exchange arena, built lazily when no owner
+        passed one in.  Only the vectorized stage methods call this:
+        forced-scalar runs never touch an arena (asserted by the
+        arena-reuse tests)."""
+        arena = self._arena
+        if arena is None:
+            # Imported lazily: repro.service imports core modules at
+            # package init, so a top-level import here would be circular.
+            from repro.service.arena import ExchangeArena
+
+            arena = ExchangeArena(self.n, self._symbol_dtype, _MISSING)
+            self._arena = arena
+        return arena
 
     def _view(self) -> GlobalView:
         return self._view_provider()
@@ -348,10 +368,19 @@ class GenerationProtocol:
         diagonal = [codewords[pid][pid] for pid in range(self.n)]
         trusted_batches = 0
         if senders.shape[0]:
+            if self._symbol_dtype is object:
+                # Wide super-symbols exceed an int64 lane: keep the
+                # exact-int list carrier.
+                payloads = [diagonal[s] for s in senders.tolist()]
+            else:
+                # Packed payload lane: one gather, no per-edge Python
+                # objects (fancy indexing owns its data, so send_many
+                # keeps the lane without copying).
+                payloads = np.asarray(diagonal, dtype=np.int64)[senders]
             self.network.send_many(
                 senders,
                 receivers,
-                [diagonal[s] for s in senders.tolist()],
+                payloads,
                 bits=self.c,
                 tag=symbol_tag,
             )
@@ -406,7 +435,9 @@ class GenerationProtocol:
             # line 1(b) filter is equivalent for honest and faulty
             # senders alike).
             for sender, recipient, payload in zip(
-                batch.senders.tolist(), batch.receivers.tolist(), batch.payloads
+                batch.senders.tolist(),
+                batch.receivers.tolist(),
+                batch.payload_list(),
             ):
                 received[recipient][sender] = self._valid_symbol(payload)
         for pid in range(self.n):
@@ -822,18 +853,20 @@ class GenerationProtocol:
         )
         mask = self.graph.trust_mask()
         dtype = self._symbol_dtype
-        codeword_arr = np.array(
-            [codewords[pid] for pid in range(self.n)], dtype=dtype
-        )
-        received = np.full((self.n, self.n), _MISSING, dtype=dtype)
+        arena = self._ensure_arena()
+        codeword_arr = arena.codeword_view()
+        for pid in range(self.n):
+            codeword_arr[pid] = codewords[pid]
+        received = arena.exchange_view()
         for index, batch in enumerate(delivery.batches):
             if index < trusted_batches:
                 # Honest batched traffic: payloads are this engine's own
                 # codeword symbols, valid by construction (the scalar
                 # path's per-payload `_valid_symbol` is a no-op on them)
-                # and already trust-filtered at send time.
-                received[batch.receivers, batch.senders] = np.array(
-                    batch.payloads, dtype=dtype
+                # and already trust-filtered at send time.  The batch
+                # usually carries them as a packed int64 lane already.
+                received[batch.receivers, batch.senders] = (
+                    batch.payload_lanes(dtype)
                 )
                 continue
             # Byzantine batch: arbitrary payloads, validated per edge
@@ -841,7 +874,7 @@ class GenerationProtocol:
             for sender, recipient, payload in zip(
                 batch.senders.tolist(),
                 batch.receivers.tolist(),
-                batch.payloads,
+                batch.payload_list(),
             ):
                 symbol = self._valid_symbol(payload)
                 received[recipient, sender] = (
@@ -881,12 +914,14 @@ class GenerationProtocol:
         )
         np.fill_diagonal(honest_m, True)
         off_diagonal = ~np.eye(self.n, dtype=bool)
-        sent_bits = honest_m.astype(np.int8)[off_diagonal].reshape(
-            self.n, self.n - 1
-        ).tolist()
-        rows: List[Tuple[int, List[int]]] = []
+        # Packed wire rows: one packbits over the honest matrix replaces
+        # n per-row bit lists; the backend shares each honest row's
+        # PackedBits straight through ("packed in, packed out").
+        packed_rows = np.packbits(
+            honest_m[off_diagonal].reshape(self.n, self.n - 1), axis=1
+        )
+        rows: List[Tuple[int, PackedBits]] = []
         for i in range(self.n):
-            bits = sent_bits[i]
             if self.adversary.controls(i):
                 m_i = list(
                     self.adversary.m_vector(
@@ -898,17 +933,23 @@ class GenerationProtocol:
                 )
                 if len(m_i) != self.n:
                     m_i = (m_i + [False] * self.n)[: self.n]
-                bits = [
-                    1 if m_i[j] else 0 for j in range(self.n) if j != i
-                ]
+                bits = PackedBits.from_bits(
+                    [1 if m_i[j] else 0 for j in range(self.n) if j != i]
+                )
+            else:
+                bits = PackedBits(packed_rows[i], self.n - 1)
             rows.append((i, bits))
         outcomes = self.backend.broadcast_bits_many(rows, tag, isolated)
-        m_matrix = np.empty((self.n, self.n), dtype=bool)
+        m_matrix = self._ensure_arena().m_view()
         reference = self._reference
-        for (i, _), outcome in zip(rows, outcomes):
-            row = outcome[reference]
-            m_matrix[i, :i] = row[:i]
-            m_matrix[i, i + 1:] = row[i:]
+        # Assemble the reference M view with one bulk unpack: row-major
+        # fill of the off-diagonal positions reproduces the scalar
+        # ``row[:i]`` / ``row[i:]`` placement exactly.
+        lanes = np.stack(
+            [outcome[reference].lanes for outcome in outcomes]
+        )
+        bits_mat = np.unpackbits(lanes, axis=1, count=self.n - 1)
+        m_matrix[off_diagonal] = bits_mat.reshape(-1)
         np.fill_diagonal(m_matrix, True)
         return m_matrix
 
@@ -916,7 +957,8 @@ class GenerationProtocol:
         self, m_matrix: np.ndarray
     ) -> Optional[Tuple[int, ...]]:
         """Line 1(e) on the M-matrix: pairwise-matching = ``m & m.T``."""
-        adjacency = m_matrix & m_matrix.T
+        adjacency = self._ensure_arena().adjacency_view()
+        np.logical_and(m_matrix, m_matrix.T, out=adjacency)
         np.fill_diagonal(adjacency, False)
         clique = find_clique_matrix(adjacency, self.n - self.t)
         return tuple(clique) if clique is not None else None
@@ -968,7 +1010,9 @@ class GenerationProtocol:
                 detectors.append(q)
             rows.append((q, [1 if flag else 0]))
         outcomes = self.backend.broadcast_bits_many(rows, tag, isolated)
-        detected_ref = np.zeros(self.n, dtype=bool)
+        # Detected rows stay scalar one-bit lists by design (a flag is
+        # not a "row of bits"); only the reference flag vector is arena'd.
+        detected_ref = self._ensure_arena().detected_view()
         reference = self._reference
         for (q, _), outcome in zip(rows, outcomes):
             detected_ref[q] = bool(outcome[reference][0])
@@ -1015,8 +1059,8 @@ broadcast_bits_many_grouped` call per sub-stage (symbols, then trust
         r_ref: Dict[int, int] = {}
         r_own: Dict[int, Dict[int, int]] = {i: {} for i in faulty_live}
 
-        def symbol_plan(j: int) -> Callable[[], List[int]]:
-            def plan() -> List[int]:
+        def symbol_plan(j: int) -> Callable[[], PackedBits]:
+            def plan() -> PackedBits:
                 honest_symbol = codewords[j][j]
                 symbol = honest_symbol
                 if self.adversary.controls(j):
@@ -1026,18 +1070,17 @@ broadcast_bits_many_grouped` call per sub-stage (symbols, then trust
                         )
                         % self.code.symbol_limit
                     )
-                return [
-                    (symbol >> (self.c - 1 - b)) & 1 for b in range(self.c)
-                ]
+                # Packed wire row; big-int safe for wide super-symbols.
+                return PackedBits.from_int(symbol, self.c)
             return plan
 
         symbol_outcomes = self.backend.broadcast_bits_many_grouped(
             [(j, symbol_plan(j)) for j in p_match], symbol_tag, isolated
         )
         for j, outcome in zip(p_match, symbol_outcomes):
-            r_ref[j] = bits_to_int(outcome[self._reference])
+            r_ref[j] = outcome[self._reference].to_int()
             for i in faulty_live:
-                r_own[i][j] = bits_to_int(outcome[i])
+                r_own[i][j] = outcome[i].to_int()
 
         # Lines 3(c)-3(d): Trust vectors over P_match, broadcast by
         # everyone live.  The honest baseline is one boolean matrix;
@@ -1064,14 +1107,15 @@ broadcast_bits_many_grouped` call per sub-stage (symbols, then trust
                 & (mine[i] == r_i).astype(bool)
             )
 
-        trust_ref = np.zeros((n, n_pm), dtype=bool)
+        trust_ref = self._ensure_arena().trust_view(n_pm)
         live_row = np.zeros(n, dtype=bool)
         reference = self._reference
-        honest_bits = honest_trust_mat.astype(np.int8).tolist()
+        # Packed wire rows: one packbits over the (fixed-up) honest
+        # trust matrix; controlled rows repack after their hook.
+        trust_packed = np.packbits(honest_trust_mat, axis=1)
 
-        def trust_plan(i: int) -> Callable[[], List[int]]:
-            def plan() -> List[int]:
-                bit_list = honest_bits[i]
+        def trust_plan(i: int) -> Callable[[], PackedBits]:
+            def plan() -> PackedBits:
                 if self.adversary.controls(i):
                     honest_trust = {
                         j: bool(honest_trust_mat[i, index])
@@ -1082,19 +1126,27 @@ broadcast_bits_many_grouped` call per sub-stage (symbols, then trust
                             i, dict(honest_trust), self.generation, view
                         )
                     )
-                    bit_list = [
+                    return PackedBits.from_bits([
                         1 if trust_i.get(j, False) else 0 for j in p_match
-                    ]
-                return bit_list
+                    ])
+                return PackedBits(trust_packed[i], n_pm)
             return plan
 
         live = [i for i in range(n) if i not in isolated]
         trust_outcomes = self.backend.broadcast_bits_many_grouped(
             [(i, trust_plan(i)) for i in live], trust_tag, isolated
         )
-        for i, outcome in zip(live, trust_outcomes):
-            live_row[i] = True
-            trust_ref[i] = outcome[reference]
+        if live:
+            live_arr = np.array(live, dtype=np.int64)
+            live_row[live_arr] = True
+            # One bulk unpack assembles every live reference row; rows of
+            # isolated processors keep the view's reset-False fill.
+            lanes = np.stack(
+                [outcome[reference].lanes for outcome in trust_outcomes]
+            )
+            trust_ref[live_arr] = np.unpackbits(
+                lanes, axis=1, count=n_pm
+            ).astype(bool)
 
         # Line 3(e): edge removal from the reference view; np.argwhere's
         # row-major order reproduces the scalar (i ascending, then

@@ -50,12 +50,22 @@ class SymbolBatch:
     """All messages of one ``(tag, round)`` as parallel edge arrays.
 
     ``senders`` and ``receivers`` are equal-length int arrays;
-    ``payloads`` is the aligned payload list — always Python scalars,
-    never numpy ones, so receivers' exact-type payload validation sees
-    the same values the scalar path would carry.  ``bits`` is the
-    accounted size *per message* — every message in a batch is the same
-    protocol step, so all carry the same bit count, and the batch meters
-    ``bits * len`` in one accounting entry.
+    ``payloads`` is the aligned payload sequence in one of two carrier
+    forms:
+
+    * a Python list of exact scalars (the scalar-compatible form, and
+      the only form for payloads wider than an int64 lane);
+    * a 1-D integer ndarray — the *packed payload lane* of the
+      vectorized data plane, which moves no per-edge Python objects.
+
+    Scalar consumers must go through :meth:`payload_list`, which
+    normalizes either form to Python scalars (receivers' exact-type
+    payload validation must never see ``np.int64``); vectorized
+    consumers take :meth:`payload_lanes` and skip the materialization
+    entirely.  ``bits`` is the accounted size *per message* — every
+    message in a batch is the same protocol step, so all carry the same
+    bit count, and the batch meters ``bits * len`` in one accounting
+    entry regardless of carrier form.
     """
 
     tag: str
@@ -80,12 +90,29 @@ class SymbolBatch:
     def __len__(self) -> int:
         return len(self.senders)
 
+    def payload_list(self) -> List[Any]:
+        """The payloads as Python scalars, whatever the carrier form.
+
+        The scalar consumers' accessor: ``tolist()`` converts lane
+        elements to exact ints, so the downstream exact-type symbol
+        validation behaves identically to the scalar send path.
+        """
+        payloads = self.payloads
+        if isinstance(payloads, np.ndarray):
+            return payloads.tolist()
+        return list(payloads)
+
+    def payload_lanes(self, dtype) -> np.ndarray:
+        """The payloads as a 1-D array of ``dtype`` — zero-copy when the
+        batch already carries a matching lane."""
+        payloads = self.payloads
+        if isinstance(payloads, np.ndarray):
+            return payloads.astype(dtype, copy=False)
+        return np.array(payloads, dtype=dtype)
+
     def materialize(self) -> List[Message]:
         """The batch as scalar :class:`Message` objects (journal order is
         the caller's concern; this preserves batch order)."""
-        payloads = self.payloads
-        if isinstance(payloads, np.ndarray):
-            payloads = payloads.tolist()
         return [
             Message(
                 sender=int(sender),
@@ -96,6 +123,8 @@ class SymbolBatch:
                 round_index=self.round_index,
             )
             for sender, receiver, payload in zip(
-                self.senders.tolist(), self.receivers.tolist(), payloads
+                self.senders.tolist(),
+                self.receivers.tolist(),
+                self.payload_list(),
             )
         ]

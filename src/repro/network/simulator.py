@@ -161,10 +161,12 @@ class SyncNetwork:
         Args:
             senders: 1-d array/sequence of sender pids.
             receivers: matching 1-d array/sequence of receiver pids.
-            payloads: one payload per edge; may be an ndarray or a list
-                (symbols wider than an int64 lane stay Python ints —
-                ndarray elements are normalized back to Python scalars
-                so receivers' exact-int validation still applies).
+            payloads: one payload per edge; an integer ndarray is kept
+                as the batch's packed payload lane (symbols wider than
+                an int64 lane stay Python-int lists; scalar consumers
+                read either form through
+                :meth:`~repro.network.message.SymbolBatch.payload_list`,
+                which restores exact Python ints).
             bits: metered width of every message in the batch.
             tag: hierarchical meter tag.
 
@@ -233,11 +235,17 @@ class SyncNetwork:
                 "duplicate message %r in round %d" % (key, self.round_index)
             )
         self._batch_edges.setdefault(tag, set()).update(unique.tolist())
-        # Normalize to a list of Python scalars: receivers validate
-        # payloads with exact type checks (np.int64 is not a symbol), so
-        # an ndarray's elements must not leak through as numpy scalars.
+        # Carrier form: an integer ndarray stays a packed payload lane
+        # (scalar consumers normalize through SymbolBatch.payload_list,
+        # so np.int64 never leaks to receiver-side validation); object
+        # or bool dtypes fall back to the scalar list form.  A lane that
+        # is a view of a caller-owned buffer (an arena slice) is copied —
+        # the buffer may be reset before the batch is consumed.
         if isinstance(payloads, np.ndarray):
-            payloads = payloads.tolist()
+            if payloads.dtype == object or payloads.dtype == np.bool_:
+                payloads = payloads.tolist()
+            elif payloads.base is not None or not payloads.flags.owndata:
+                payloads = payloads.copy()
         else:
             payloads = list(payloads)
         batch = SymbolBatch(

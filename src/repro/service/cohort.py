@@ -243,7 +243,13 @@ class _MatchInfo:
 class CohortContext:
     """Shared state for every instance of one attack cohort."""
 
-    def __init__(self, config: ConsensusConfig, code, adversary: Adversary):
+    def __init__(
+        self,
+        config: ConsensusConfig,
+        code,
+        adversary: Adversary,
+        arena=None,
+    ):
         self.config = config
         self.code = code
         self.n = config.n
@@ -281,7 +287,14 @@ class CohortContext:
         self._part_tuples: Dict[int, List[tuple]] = {}
         self._local_encodes: Dict[Tuple, List[List[int]]] = {}
         self._dtype = np.int64 if self.c <= 62 else object
-        self._scatter: Optional[np.ndarray] = None
+        #: The shared exchange arena (the service passes its own, so
+        #: cohort lanes reuse the same (n, n) buffers as the per-
+        #: instance engines); delegated diagnosis protocols get it too.
+        if arena is None:
+            from repro.service.arena import ExchangeArena
+
+            arena = ExchangeArena(self.n, self._dtype, _MISSING)
+        self.arena = arena
         self.zero1 = [0]
         self.one1 = [1]
         #: Instances served through this cohort (benchmark introspection).
@@ -435,14 +448,10 @@ class CohortContext:
         return cached
 
     def scatter(self) -> np.ndarray:
-        """The shared ``(n, n)`` diagnosis scatter buffer, reset to
-        :data:`_MISSING` (the delegated stage never retains it)."""
-        buf = self._scatter
-        if buf is None:
-            buf = np.empty((self.n, self.n), dtype=self._dtype)
-            self._scatter = buf
-        buf[:] = _MISSING
-        return buf
+        """The shared ``(n, n)`` diagnosis scatter buffer — the arena's
+        exchange view, reset to :data:`_MISSING` (the delegated stage
+        never retains it)."""
+        return self.arena.exchange_view()
 
 
 class _InstanceRun:
@@ -722,6 +731,7 @@ class _InstanceRun:
             view_provider=consensus._make_view,
             vectorized=True,
             caches=ctx.caches,
+            arena=ctx.arena,
         )
         codewords = {pid: row_of[pid] for pid in range(n)}
         return protocol._diagnosis_stage_vec(
@@ -905,6 +915,7 @@ class _InstanceRun:
             view_provider=consensus._make_view,
             vectorized=True,
             caches=ctx.caches,
+            arena=ctx.arena,
         )
         codewords = {pid: row_of[pid] for pid in range(n)}
         return protocol._diagnosis_stage_vec(

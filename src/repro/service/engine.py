@@ -148,10 +148,16 @@ constant_cost_honest`) and the network keeps no journal, each
             self._codewords = self._whole_run_codewords()
         codeword = self._codewords[g]
         tag = "gen%d" % g
+        if config.symbol_bits <= 62:
+            # Packed payload lane (see SymbolBatch): one gather instead
+            # of n(n-1) Python objects.
+            payloads = np.asarray(codeword, dtype=np.int64)[self.senders]
+        else:
+            payloads = [codeword[s] for s in self.sender_list]
         consensus.network.send_many(
             self.senders,
             self.receivers,
-            [codeword[s] for s in self.sender_list],
+            payloads,
             bits=config.symbol_bits,
             tag="%s.matching.symbols" % tag,
         )
@@ -398,6 +404,14 @@ def execute_consensus(
             generation=g,
             view_provider=consensus._make_view,
             vectorized=consensus.vectorized,
+            # The shared arena persists the (n, n) buffers across
+            # generations; forced-scalar (and probabilistic-backend)
+            # runs must never build one.
+            arena=(
+                consensus.ensure_arena()
+                if consensus.vectorized and consensus.backend.error_free
+                else None
+            ),
         )
         result = protocol.run(
             {pid: parts_by_pid[pid][g] for pid in range(config.n)},

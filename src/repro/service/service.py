@@ -45,6 +45,7 @@ from repro.core.consensus import MultiValuedConsensus
 from repro.core.result import ConsensusResult, GenerationResult
 from repro.network.metrics import BitMeter, MeterSnapshot
 from repro.processors.adversary import Adversary
+from repro.service.arena import ExchangeArena
 from repro.service.cohort import CohortContext, run_cohort_instance
 from repro.service.spec import (
     InstanceSpec,
@@ -112,6 +113,12 @@ class ConsensusService:
         self._constant_cost = bool(
             getattr(backend_cls, "constant_cost_honest", False)
         )
+        #: The deployment's preallocated exchange arena: every engine
+        #: and cohort this service builds shares its ``(n, n)`` buffers
+        #: (the service runs instances strictly sequentially, so one
+        #: generation is ever in flight).  Built on first vectorized
+        #: need; a forced-scalar service never builds one.
+        self._arena: Optional[ExchangeArena] = None
         #: Attack-shape cohort contexts, keyed by ``cohort_key`` (see
         #: :mod:`repro.service.cohort`); persistent like the encode
         #: cache, so repeated ``run_many`` calls keep their warmth.
@@ -128,13 +135,27 @@ class ConsensusService:
 
     # -- engine construction ------------------------------------------------
 
+    def _ensure_arena(self) -> ExchangeArena:
+        """The service's shared exchange arena, built on first need."""
+        if self._arena is None:
+            self._arena = ExchangeArena.for_symbol_bits(
+                self.config.n, self.config.symbol_bits
+            )
+        return self._arena
+
     def _make_engine(
         self,
         adversary: Adversary,
         meter: Optional[BitMeter] = None,
     ) -> MultiValuedConsensus:
         """A fresh per-instance engine wired to this service's shared
-        read-only state (code tables, part splits, encode cache)."""
+        read-only state (code tables, part splits, encode cache) and,
+        on the vectorized path, the shared exchange arena."""
+        arena = (
+            self._ensure_arena()
+            if self.spec.vectorized and self._backend_error_free
+            else None
+        )
         return MultiValuedConsensus(
             self.config,
             adversary=adversary,
@@ -144,6 +165,7 @@ class ConsensusService:
             code=self.code,
             parts_cache=self._parts_cache,
             encode_cache=self._encode_cache,
+            arena=arena,
         )
 
     def parts_for(self, value: int) -> List[List[int]]:
@@ -348,7 +370,10 @@ class ConsensusService:
                 key = cohort_key(self.spec, instance)
                 ctx = self._cohorts.get(key)
                 if ctx is None:
-                    ctx = CohortContext(self.config, self.code, adversary)
+                    ctx = CohortContext(
+                        self.config, self.code, adversary,
+                        arena=self._ensure_arena(),
+                    )
                     self._cohorts[key] = ctx
                 engine = self._make_engine(adversary)
                 results[idx] = run_cohort_instance(

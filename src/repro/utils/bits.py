@@ -57,6 +57,156 @@ def _int_of_bit_array(bits: np.ndarray) -> int:
     return int.from_bytes(np.packbits(bits).tobytes(), "big")
 
 
+class PackedBits:
+    """A length-aware packed bit row: ``np.packbits`` uint8 lanes.
+
+    The data plane's wire format for a "row of bits" — M-flags, Trust
+    vectors, symbol bit-planes.  Bits are MSB-first within each lane
+    byte (numpy's default ``bitorder="big"``), matching the repo-wide
+    big-endian convention, and the tail bits of the final lane byte are
+    zero by construction, so lane-level operations (xor, popcount,
+    equality) never need masking.
+
+    ``from_int``/``to_int`` run through the big-int-safe
+    :func:`_bit_array`/:func:`_int_of_bit_array` pair, which is the
+    object-dtype escape hatch for wide super-symbols: a several-hundred-
+    bit symbol packs into lanes without ever touching an int64.
+
+    Instances are treated as immutable once constructed; holders may
+    share them freely (the ideal backend hands the *same* row object to
+    every honest receiver).
+    """
+
+    __slots__ = ("lanes", "length")
+
+    def __init__(self, lanes: np.ndarray, length: int) -> None:
+        if lanes.dtype != np.uint8 or lanes.ndim != 1:
+            raise ValueError("lanes must be a 1-D uint8 array")
+        if lanes.shape[0] != (length + 7) // 8:
+            raise ValueError(
+                "%d lane bytes cannot hold exactly %d bits"
+                % (lanes.shape[0], length)
+            )
+        self.lanes = lanes
+        self.length = length
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def from_bits(cls, bits: Sequence[int]) -> "PackedBits":
+        """Pack a validated 0/1 sequence (list, tuple or array)."""
+        arr = np.asarray(bits)
+        if arr.ndim != 1:
+            raise ValueError("bits must be one-dimensional")
+        if arr.dtype != np.bool_ and not np.issubdtype(arr.dtype, np.integer):
+            # Exotic element types: validate with exact scalar semantics
+            # before any lossy numpy cast (mirrors bits_to_int).
+            if any(bit not in (0, 1) for bit in bits):
+                bad = next(bit for bit in bits if bit not in (0, 1))
+                raise ValueError("bits must be 0 or 1, got %r" % (bad,))
+            # The uint8 dtype also covers the empty row, which numpy
+            # would otherwise default to float64.
+            arr = np.asarray(
+                [1 if bit else 0 for bit in bits], dtype=np.uint8
+            )
+        elif arr.size and (
+            arr.dtype != np.bool_ and ((arr < 0) | (arr > 1)).any()
+        ):
+            bad_mask = (arr < 0) | (arr > 1)
+            raise ValueError(
+                "bits must be 0 or 1, got %r" % (int(arr[bad_mask][0]),)
+            )
+        return cls(np.packbits(arr), int(arr.shape[0]))
+
+    @classmethod
+    def from_array(cls, arr: np.ndarray) -> "PackedBits":
+        """Pack a trusted uint8/bool 0/1 array without validation."""
+        return cls(np.packbits(arr), int(arr.shape[0]))
+
+    @classmethod
+    def from_int(cls, value: int, width: int) -> "PackedBits":
+        """``width`` MSB-first bits of a (possibly huge) ``value``."""
+        if width < 0:
+            raise ValueError("width must be non-negative, got %d" % width)
+        if value < 0:
+            raise ValueError("value must be non-negative, got %d" % value)
+        if value >> width:
+            raise ValueError(
+                "value %d does not fit in %d bits" % (value, width)
+            )
+        return cls(np.packbits(_bit_array(value, width)), width)
+
+    @classmethod
+    def zeros(cls, length: int) -> "PackedBits":
+        if length < 0:
+            raise ValueError("length must be non-negative, got %d" % length)
+        return cls(np.zeros((length + 7) // 8, dtype=np.uint8), length)
+
+    # -- views --------------------------------------------------------
+
+    def to_array(self) -> np.ndarray:
+        """The row as a fresh uint8 0/1 array of exactly ``length``."""
+        return np.unpackbits(self.lanes, count=self.length)
+
+    def tolist(self) -> List[int]:
+        return self.to_array().tolist()
+
+    def to_int(self) -> int:
+        """The row as a big integer, first bit most significant."""
+        return _int_of_bit_array(self.to_array())
+
+    # -- sequence protocol --------------------------------------------
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __iter__(self):
+        return iter(self.tolist())
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return PackedBits.from_array(self.to_array()[index])
+        if index < 0:
+            index += self.length
+        if not 0 <= index < self.length:
+            raise IndexError("bit index out of range")
+        return int((self.lanes[index >> 3] >> (7 - (index & 7))) & 1)
+
+    # -- lane-level operations ----------------------------------------
+
+    def __xor__(self, other: "PackedBits") -> "PackedBits":
+        if not isinstance(other, PackedBits):
+            return NotImplemented
+        if other.length != self.length:
+            raise ValueError(
+                "xor of mismatched bit lengths: %d vs %d"
+                % (self.length, other.length)
+            )
+        # Tail bits are zero in both operands, so the result's tail is
+        # zero too — the invariant survives without masking.
+        return PackedBits(self.lanes ^ other.lanes, self.length)
+
+    def popcount(self) -> int:
+        """Number of set bits (tail lanes are zero, so no masking)."""
+        return int(np.unpackbits(self.lanes).sum())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PackedBits):
+            return NotImplemented
+        return self.length == other.length and bool(
+            np.array_equal(self.lanes, other.lanes)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.length, self.lanes.tobytes()))
+
+    def __repr__(self) -> str:
+        shown = "".join(str(b) for b in self.tolist()[:64])
+        if self.length > 64:
+            shown += "..."
+        return "PackedBits(%d: %s)" % (self.length, shown)
+
+
 def ints_to_bit_matrix(values: Sequence[int], width: int) -> np.ndarray:
     """Render ``len(values)`` non-negative ints as a ``(len, width)`` uint8
     bit matrix, MSB first.  Values must fit in ``width`` bits (checked by

@@ -1,0 +1,185 @@
+"""Arena reuse: reset rules, no stale-data leaks, forced-scalar purity.
+
+The :class:`~repro.service.arena.ExchangeArena` hands the vectorized
+data plane *reset views* of preallocated ``(n, n)`` buffers.  These
+tests pin the three contractual properties the refactor rides on:
+
+* acquiring a view resets exactly what the contract says it resets
+  (exchange → sentinel, Detected/Trust → ``False``) and hands back
+  dirty only what its producer fully overwrites;
+* a dirty arena — one that just served a diagnosis-heavy adversarial
+  instance — must not leak a single stale cell into the next
+  generation or the next instance (byte-identity with a fresh-state
+  reference run);
+* forced-scalar runs never touch the arena at all.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ConsensusConfig
+from repro.core.consensus import MultiValuedConsensus
+from repro.processors import make_attack
+from repro.service import ConsensusService, InstanceSpec, RunSpec
+from repro.service.arena import ExchangeArena
+
+N, T, L = 7, 2, 256
+VALUE = 0x5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A
+
+
+class TestExchangeArenaUnit:
+    def test_buffers_allocated_lazily(self):
+        arena = ExchangeArena(5, np.int64)
+        assert arena.acquisitions == 0
+        for name in (
+            "_exchange", "_codewords", "_m", "_adjacency", "_detected",
+            "_trust",
+        ):
+            assert getattr(arena, name) is None
+
+    def test_exchange_view_resets_to_sentinel(self):
+        arena = ExchangeArena(4, np.int64, fill_value=-1)
+        view = arena.exchange_view()
+        view[...] = 99
+        again = arena.exchange_view()
+        assert again is view  # same buffer, not a new allocation
+        assert (again == -1).all()
+        assert arena.acquisitions == 2
+
+    def test_detected_and_trust_reset_to_false(self):
+        arena = ExchangeArena(4, np.int64)
+        detected = arena.detected_view()
+        detected[...] = True
+        assert not arena.detected_view().any()
+        trust = arena.trust_view(3)
+        trust[...] = True
+        again = arena.trust_view(3)
+        assert again.shape == (4, 3)
+        assert not again.any()
+
+    def test_dirty_views_reuse_buffer_without_reset(self):
+        arena = ExchangeArena(4, np.int64)
+        m = arena.m_view()
+        m[...] = True
+        assert arena.m_view() is m  # producer overwrites every cell
+        codewords = arena.codeword_view()
+        assert arena.codeword_view() is codewords
+        adjacency = arena.adjacency_view()
+        assert arena.adjacency_view() is adjacency
+
+    def test_trust_width_validated(self):
+        arena = ExchangeArena(4, np.int64)
+        with pytest.raises(ValueError):
+            arena.trust_view(5)
+        with pytest.raises(ValueError):
+            arena.trust_view(-1)
+        assert arena.trust_view(0).shape == (4, 0)
+
+    def test_for_symbol_bits_dtype_rule(self):
+        assert ExchangeArena.for_symbol_bits(4, 62).symbol_dtype is np.int64
+        assert ExchangeArena.for_symbol_bits(4, 63).symbol_dtype is object
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ValueError):
+            ExchangeArena(0, np.int64)
+
+
+class TestDirtyArenaRegression:
+    """A diagnosis event leaves every arena buffer dirty; whatever runs
+    next on the same service must be byte-identical to a fresh run."""
+
+    @staticmethod
+    def _instances():
+        return [
+            # Diagnosis-heavy opener: leaves exchange/M/Trust all dirty.
+            InstanceSpec(inputs=(VALUE,) * N, attack="corrupt", seed=3),
+            # Failure-free follower on the same arena.
+            InstanceSpec(inputs=(VALUE ^ (VALUE >> 1),) * N),
+            # A different attack shape on the same arena again.
+            InstanceSpec(inputs=(VALUE,) * N, attack="trust_poison", seed=5),
+            # And a second diagnosis-heavy one, so generation-to-
+            # generation reuse after diagnosis is also exercised.
+            InstanceSpec(inputs=(VALUE,) * N, attack="corrupt", seed=3),
+        ]
+
+    def test_shared_arena_matches_fresh_state_reference(self):
+        spec = RunSpec(n=N, l_bits=L)
+        shared = ConsensusService(spec).run_many(self._instances())
+        fresh = []
+        for instance in self._instances():
+            run_spec = instance.resolve(spec)
+            consensus = MultiValuedConsensus(
+                run_spec.make_config(), adversary=run_spec.make_adversary()
+            )
+            fresh.append(consensus.run(list(instance.inputs)))
+        for idx, (want, got) in enumerate(zip(fresh, shared)):
+            assert want == got, "instance %d diverged on shared arena" % idx
+
+    def test_identical_adversarial_instances_stay_identical(self):
+        # The same attack twice through one warm arena: any stale cell
+        # surviving the first run's diagnosis would show up as a
+        # deviation in the second.
+        spec = RunSpec(n=N, l_bits=L)
+        service = ConsensusService(spec)
+        instance = InstanceSpec(inputs=(VALUE,) * N, attack="corrupt", seed=3)
+        first = service.run_many([instance])[0]
+        second = service.run_many([instance])[0]
+        assert first == second
+        assert service._arena is not None
+        assert service._arena.acquisitions > 0
+
+    def test_one_shot_runs_share_no_state(self):
+        # Two one-shot consensus objects build private arenas lazily;
+        # an explicit shared arena between them must also be harmless.
+        config = ConsensusConfig.create(n=N, t=T, l_bits=L)
+        arena = ExchangeArena.for_symbol_bits(N, config.symbol_bits)
+        results = []
+        for _ in range(2):
+            consensus = MultiValuedConsensus(
+                config,
+                adversary=make_attack("corrupt", N, T, L, seed=3),
+                arena=arena,
+            )
+            results.append(consensus.run([VALUE] * N))
+        private = MultiValuedConsensus(
+            config, adversary=make_attack("corrupt", N, T, L, seed=3)
+        ).run([VALUE] * N)
+        assert results[0] == results[1] == private
+        assert arena.acquisitions > 0
+
+
+class TestForcedScalarNeverTouchesArena:
+    def test_one_shot_scalar_arena_stays_none(self):
+        config = ConsensusConfig.create(n=N, t=T, l_bits=L)
+        consensus = MultiValuedConsensus(
+            config,
+            adversary=make_attack("corrupt", N, T, L, seed=3),
+            vectorized=False,
+        )
+        result = consensus.run([VALUE] * N)
+        assert result.diagnosis_count > 0  # the per-generation path ran
+        assert consensus.arena is None
+
+    def test_one_shot_scalar_leaves_provided_arena_untouched(self):
+        config = ConsensusConfig.create(n=N, t=T, l_bits=L)
+        arena = ExchangeArena.for_symbol_bits(N, config.symbol_bits)
+        consensus = MultiValuedConsensus(
+            config,
+            adversary=make_attack("corrupt", N, T, L, seed=3),
+            vectorized=False,
+            arena=arena,
+        )
+        consensus.run([VALUE] * N)
+        assert arena.acquisitions == 0
+        assert arena._exchange is None
+
+    def test_service_scalar_never_builds_arena(self):
+        spec = RunSpec(n=N, l_bits=L, vectorized=False)
+        service = ConsensusService(spec)
+        service.run_many(
+            [
+                InstanceSpec(inputs=(VALUE,) * N, attack="corrupt", seed=3),
+                InstanceSpec(inputs=(VALUE,) * N),
+            ]
+        )
+        assert service._arena is None

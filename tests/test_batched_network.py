@@ -128,24 +128,53 @@ class TestSendManyEquivalence:
         assert list(delivery.batches[0].payloads) == [7, 8]
         assert net.meter.total_bits == 8
 
-    def test_numpy_payloads_normalized_to_exact_ints(self):
-        # Receivers validate payloads with exact type checks; an ndarray
-        # payload must not leak np.int64 scalars into the inboxes.
+    def test_numpy_payloads_kept_as_lane_but_scalars_stay_exact(self):
+        # An integer ndarray payload is retained as the batch's packed
+        # payload lane; scalar consumers go through payload_list() and
+        # the inboxes through materialize(), so np.int64 never reaches
+        # the receivers' exact-type payload validation.
         net = SyncNetwork(3)
         net.send_many(
             np.array([0]), np.array([1]), np.array([7], dtype=np.int64),
             bits=4, tag="x",
         )
         delivery = net.deliver_arrays()
+        batch = delivery.batches[0]
+        assert isinstance(batch.payloads, np.ndarray)
+        assert batch.payloads.dtype == np.int64
+        assert all(is_exact_int(p) for p in batch.payload_list())
         assert all(
-            is_exact_int(p) for p in delivery.batches[0].payloads
+            is_exact_int(m.payload) for m in batch.materialize()
         )
+        lanes = batch.payload_lanes(np.int64)
+        assert lanes.tolist() == [7]
         net.send_many(
             np.array([0]), np.array([1]), np.array([7], dtype=np.int64),
             bits=4, tag="y",
         )
         inbox = net.deliver()[1]
         assert all(is_exact_int(m.payload) for m in inbox)
+
+    def test_lane_payloads_copied_when_caller_buffer_is_a_view(self):
+        # An ndarray payload that is a view of a caller-owned buffer
+        # (e.g. an arena slice) must be copied at send time: mutating
+        # the buffer after send_many cannot alter the wire payloads.
+        net = SyncNetwork(3)
+        buffer = np.array([5, 6, 99], dtype=np.int64)
+        view = buffer[:2]
+        net.send_many([0, 0], [1, 2], view, bits=4, tag="x")
+        buffer[:] = 0
+        delivery = net.deliver_arrays()
+        assert delivery.batches[0].payload_list() == [5, 6]
+
+    def test_lane_payloads_owned_array_kept_without_copy(self):
+        # Fancy-indexed gathers own their data, so the common
+        # diagonal[senders] path rides the lane with no copy.
+        net = SyncNetwork(3)
+        owned = np.array([3, 4], dtype=np.int64)
+        net.send_many([0, 1], [1, 2], owned, bits=4, tag="x")
+        delivery = net.deliver_arrays()
+        assert delivery.batches[0].payloads is owned
 
     def test_empty_batch_is_a_noop(self):
         net = SyncNetwork(3)

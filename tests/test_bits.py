@@ -1,10 +1,12 @@
 """Unit tests for bit/symbol packing helpers."""
 
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.utils.bits import (
+    PackedBits,
     bits_to_int,
     bytes_to_symbols,
     int_to_bits,
@@ -120,3 +122,97 @@ class TestByteConversions:
                 assert symbols_to_bytes(
                     bytes_to_symbols(data, width), width
                 ) == data
+
+
+class TestPackedBits:
+    """The packed wire-format row type (the data plane's bit rows)."""
+
+    @pytest.mark.parametrize("length", [1, 3, 5, 7, 9, 13, 30, 127])
+    def test_roundtrip_non_multiple_of_eight(self, length):
+        bits = [(i * 5 + 3) % 2 for i in range(length)]
+        row = PackedBits.from_bits(bits)
+        assert len(row) == length
+        assert row.tolist() == bits
+        assert list(row) == bits
+        assert row.to_int() == bits_to_int(bits)
+        assert PackedBits.from_int(row.to_int(), length) == row
+
+    def test_tail_bits_zero_by_construction(self):
+        row = PackedBits.from_bits([1] * 5)
+        assert row.lanes.shape == (1,)
+        assert int(row.lanes[0]) == 0b11111000
+
+    def test_zero_length_row(self):
+        row = PackedBits.from_bits([])
+        assert len(row) == 0
+        assert row.tolist() == []
+        assert row.to_int() == 0
+        assert row.lanes.shape == (0,)
+        assert row == PackedBits.zeros(0)
+        assert (row ^ row) == row
+        assert row.popcount() == 0
+
+    def test_widest_super_symbol_object_dtype_fallback(self):
+        # A multi-hundred-bit interleaved super-symbol cannot live in an
+        # int64 lane; from_int/to_int must stay big-int exact.
+        width = 567  # not a multiple of 8, wider than any machine word
+        value = (1 << (width - 1)) | (1 << 300) | 0b1011
+        row = PackedBits.from_int(value, width)
+        assert len(row) == width
+        assert row.to_int() == value
+        assert row[0] == 1
+        assert row.tolist() == int_to_bits(value, width)
+        assert row.popcount() == bin(value).count("1")
+
+    def test_from_int_rejects_overflow_and_negatives(self):
+        with pytest.raises(ValueError):
+            PackedBits.from_int(8, 3)
+        with pytest.raises(ValueError):
+            PackedBits.from_int(-1, 3)
+        with pytest.raises(ValueError):
+            PackedBits.from_int(0, -1)
+
+    def test_from_bits_validates(self):
+        with pytest.raises(ValueError):
+            PackedBits.from_bits([0, 2, 1])
+        with pytest.raises(ValueError):
+            PackedBits.from_bits([0, -1])
+        with pytest.raises(ValueError):
+            PackedBits.from_bits([[0, 1]])
+
+    def test_lane_length_consistency_enforced(self):
+        with pytest.raises(ValueError):
+            PackedBits(np.zeros(2, dtype=np.uint8), 3)
+        with pytest.raises(ValueError):
+            PackedBits(np.zeros(1, dtype=np.int64), 8)
+
+    def test_xor_and_popcount(self):
+        a = PackedBits.from_bits([1, 0, 1, 1, 0])
+        b = PackedBits.from_bits([0, 0, 1, 0, 1])
+        assert (a ^ b).tolist() == [1, 0, 0, 1, 1]
+        assert (a ^ b).popcount() == 3
+        with pytest.raises(ValueError):
+            a ^ PackedBits.from_bits([1, 0])
+
+    def test_getitem_and_slice(self):
+        row = PackedBits.from_bits([1, 0, 1, 1, 0, 0, 1, 0, 1])
+        assert row[0] == 1
+        assert row[8] == 1
+        assert row[-1] == 1
+        assert row[2:6].tolist() == [1, 1, 0, 0]
+        with pytest.raises(IndexError):
+            row[9]
+
+    def test_equality_and_hash(self):
+        a = PackedBits.from_bits([1, 0, 1])
+        b = PackedBits.from_int(0b101, 3)
+        assert a == b and hash(a) == hash(b)
+        # Same lanes, different declared length: distinct rows.
+        assert PackedBits.zeros(3) != PackedBits.zeros(4)
+        assert a != PackedBits.from_bits([1, 0, 1, 0])
+
+    @given(st.integers(min_value=0, max_value=2**200 - 1))
+    def test_roundtrip_wide_values(self, value):
+        row = PackedBits.from_int(value, 200)
+        assert row.to_int() == value
+        assert PackedBits.from_bits(row.tolist()) == row

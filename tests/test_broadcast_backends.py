@@ -22,6 +22,7 @@ from repro.broadcast_bit.phase_king import (
     run_king_consensus,
 )
 from repro.network.metrics import BitMeter
+from repro.utils.bits import PackedBits
 from repro.processors import Adversary, RandomAdversary
 from repro.processors.adversary import GlobalView
 
@@ -294,3 +295,102 @@ class TestDolevStrong:
         backend.broadcast_bit(source=0, bit=1, tag="x")
         # Round 0 alone: 4 chains of 1 + 32 bits.
         assert meter.total_bits >= 4 * 33
+
+
+class TestPackedRowEquivalence:
+    """Packed rows must match the list path bit-for-bit on every backend.
+
+    The packed `PackedBits` wire format is an encoding change, not a
+    semantic one: for identical deployments, `broadcast_bits_many` over
+    packed rows must produce the same outcomes, meter Counter state and
+    instance ids as the same call over plain bit lists.  n = 31 runs the
+    protocol-simulating backends at t = 1 to keep EIG's exponential tree
+    small; the packed path is per-bit identical regardless of t.
+    """
+
+    NS = [(4, 1), (7, 2), (31, 1)]
+
+    @staticmethod
+    def _rows(n, packed):
+        bit_rows = [
+            [(src + idx) % 2 for idx in range(5)]
+            for src in (0, 1, n - 1)
+        ]
+        rows = []
+        for src, bits in zip((0, 1, n - 1), bit_rows):
+            row = PackedBits.from_bits(bits) if packed else bits
+            rows.append((src, row))
+        return rows
+
+    @pytest.mark.parametrize("cls", ALL_BACKENDS)
+    @pytest.mark.parametrize("n,t", NS)
+    def test_many_packed_matches_list(self, cls, n, t):
+        meters = {}
+        outcomes = {}
+        backends = {}
+        for packed in (False, True):
+            meter = BitMeter()
+            backend = cls(n=n, t=t, meter=meter)
+            outcomes[packed] = backend.broadcast_bits_many(
+                self._rows(n, packed), "pkd"
+            )
+            meters[packed] = meter
+            backends[packed] = backend
+        assert (
+            meters[True].snapshot().bits_by_tag
+            == meters[False].snapshot().bits_by_tag
+        )
+        assert (
+            meters[True].snapshot().messages_by_tag
+            == meters[False].snapshot().messages_by_tag
+        )
+        assert (
+            backends[True].stats.instances == backends[False].stats.instances
+        )
+        for listed, packed in zip(outcomes[False], outcomes[True]):
+            assert set(listed) == set(packed) == set(range(n))
+            for pid in range(n):
+                assert isinstance(packed[pid], PackedBits)
+                assert packed[pid].tolist() == listed[pid]
+
+    @pytest.mark.parametrize("cls", ALL_BACKENDS)
+    def test_grouped_packed_matches_list(self, cls):
+        n, t = 7, 2
+        results = {}
+        meters = {}
+        for packed in (False, True):
+            meter = BitMeter()
+            backend = cls(n=n, t=t, meter=meter)
+            rows = [
+                (
+                    src,
+                    (lambda src=src: PackedBits.from_bits([src % 2, 1, 0]))
+                    if packed
+                    else (lambda src=src: [src % 2, 1, 0]),
+                )
+                for src in (0, 2, 5)
+            ]
+            results[packed] = backend.broadcast_bits_many_grouped(
+                rows, "pkd.grouped"
+            )
+            meters[packed] = meter
+        assert (
+            meters[True].snapshot().bits_by_tag
+            == meters[False].snapshot().bits_by_tag
+        )
+        for listed, packed_out in zip(results[False], results[True]):
+            for pid in range(n):
+                assert packed_out[pid].tolist() == listed[pid]
+
+    @pytest.mark.parametrize("cls", ALL_BACKENDS)
+    def test_packed_ignored_source_yields_zero_row(self, cls):
+        backend = cls(n=4, t=1)
+        outcome = backend.broadcast_bits(
+            source=2,
+            bits=PackedBits.from_bits([1, 1, 0]),
+            tag="pkd.ignored",
+            ignored=frozenset({2}),
+        )
+        assert backend.meter.total_bits == 0
+        for pid in range(4):
+            assert outcome[pid] == PackedBits.zeros(3)
