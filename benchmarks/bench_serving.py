@@ -1,0 +1,427 @@
+"""Serving-tier benchmark: sustained instances/sec with p50/p99 latency.
+
+``bench_throughput.py`` measures the engine on pre-assembled batches;
+this benchmark measures the deployment shape in front of it — the
+:class:`~repro.service.serving.server.ConsensusServer` admitting a
+sustained stream of mixed honest/adversarial requests, micro-batching
+them (``window_ms`` / ``max_batch``) and flushing cohorts on the
+:class:`~repro.service.executors.AsyncExecutor` worker thread.
+
+A closed loop of concurrent producers drives the server: each producer
+submits one instance, awaits its result, then submits the next, so the
+offered load adapts to what the server sustains (no coordinated-omission
+skew).  The report records the served rate plus the server's
+client-observed latency percentiles — one sample per request covering
+queue wait, collection window and batch execution, i.e. what a caller
+actually waits.  A second section pushes part of the workload through
+the full TCP front-end (newline-delimited JSON, pipelined
+``submit_many``) so the wire path has its own number.
+
+``--check`` asserts the serving tier's byte-identity contract: the
+results served in-process and over TCP — mixed workload, a second
+deployment targeted mid-stream — equal a direct ``run_many`` on the
+same specs field for field, and admission control rejects oversized
+values, unknown attacks and post-shutdown submits with the typed
+errors.  The full grid gates the acceptance bar: the serving point must
+sustain at least ``ACCEPTANCE_PER_SEC`` instances/sec.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py          # full + gate
+    PYTHONPATH=src python benchmarks/bench_serving.py --quick --check  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import random
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.service import ConsensusService, InstanceSpec, RunSpec
+from repro.service.serving import (
+    ConsensusServer,
+    InvalidRequestError,
+    QueueFullError,
+    ServerClosedError,
+    ServingStats,
+    serve_background,
+)
+
+#: Deterministic input seed: every run times the identical workload.
+INPUT_SEED = 54321
+
+#: Honest-heavy mixed cycle — the serving traffic shape: mostly
+#: failure-free instances with adversarial ones interleaved.  Length 8,
+#: three canonical attacks, 5/8 honest.
+SERVE_CYCLE = [
+    "none", "none", "none", "corrupt",
+    "none", "crash", "none", "trust_poison",
+]
+
+#: Serving grid point: (n, l_bits, instances through the server).
+FULL_POINT = (7, 1 << 10, 2048)
+QUICK_POINT = (7, 1 << 8, 128)
+
+#: TCP-section instance counts (pipelined in ``max_batch`` chunks).
+FULL_TCP = 512
+QUICK_TCP = 64
+
+#: Full-mode acceptance bar on the in-process serving point.
+ACCEPTANCE_PER_SEC = 1000.0
+
+#: Server knobs for the measured points (recorded in the report).
+WINDOW_MS = 2.0
+MAX_BATCH = 64
+MAX_QUEUE = 1024
+FULL_PRODUCERS = 64
+QUICK_PRODUCERS = 16
+
+
+def _available_cpus() -> int:
+    """CPUs this process may actually schedule on (affinity-limited),
+    falling back to the box total where affinity is not exposed."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def _workload(n: int, l_bits: int, count: int) -> List[InstanceSpec]:
+    rng = random.Random(INPUT_SEED)
+    return [
+        InstanceSpec(
+            inputs=(rng.getrandbits(l_bits),) * n,
+            attack=SERVE_CYCLE[idx % len(SERVE_CYCLE)],
+            seed=idx,
+        )
+        for idx in range(count)
+    ]
+
+
+def _assert_identical(reference, candidates, label: str) -> None:
+    for name, results in candidates.items():
+        if len(results) != len(reference):
+            raise AssertionError(
+                "%s (%s): %d results for %d instances"
+                % (label, name, len(results), len(reference))
+            )
+        for idx, (want, got) in enumerate(zip(reference, results)):
+            if want != got:
+                raise AssertionError(
+                    "%s (%s): instance %d diverged from the direct "
+                    "run_many reference — the serving tier altered a "
+                    "result" % (label, name, idx)
+                )
+
+
+async def _drive(
+    server: ConsensusServer,
+    instances: List[InstanceSpec],
+    producers: int,
+):
+    """Closed-loop load: ``producers`` concurrent submitters draining
+    one shared workload; each awaits its result before taking the next
+    instance, backing off briefly on a queue-full rejection."""
+    results: List[Optional[object]] = [None] * len(instances)
+    cursor = 0
+
+    async def producer() -> None:
+        nonlocal cursor
+        while True:
+            idx = cursor
+            if idx >= len(instances):
+                return
+            cursor += 1
+            while True:
+                try:
+                    results[idx] = await server.submit(instances[idx])
+                    break
+                except QueueFullError:
+                    await asyncio.sleep(0.001)
+
+    start = time.perf_counter()
+    await asyncio.gather(*(producer() for _ in range(producers)))
+    elapsed = time.perf_counter() - start
+    return results, elapsed
+
+
+def run_serving_point(
+    n: int, l_bits: int, count: int, producers: int
+) -> dict:
+    """The in-process serving measurement: sustained mixed traffic
+    through a warmed server, rate and latency from its own stats."""
+    spec = RunSpec(n=n, l_bits=l_bits)
+    warmup = _workload(n, l_bits, 2 * len(SERVE_CYCLE))
+    instances = _workload(n, l_bits, count)
+
+    async def scenario():
+        server = ConsensusServer(
+            spec,
+            window_ms=WINDOW_MS,
+            max_batch=MAX_BATCH,
+            max_queue=MAX_QUEUE,
+        )
+        await server.start()
+        try:
+            # Warm the deployment (templates, attack cohorts, encode
+            # caches), then measure steady state with fresh stats.
+            await _drive(server, warmup, producers)
+            server.stats = ServingStats()
+            results, elapsed = await _drive(server, instances, producers)
+            return results, elapsed, server.stats.snapshot()
+        finally:
+            await server.stop()
+
+    results, elapsed, stats = asyncio.run(scenario())
+    if any(result is None for result in results):
+        raise AssertionError("serving point lost a request")
+    return {
+        "n": n,
+        "l_bits": l_bits,
+        "instances": count,
+        "attack_cycle": SERVE_CYCLE,
+        "producers": producers,
+        "elapsed_seconds": round(elapsed, 4),
+        "served_per_sec": round(count / elapsed, 1),
+        "latency_ms": stats["latency_ms"],
+        "flushes": stats["flushes"],
+        "mean_batch": stats["mean_batch"],
+        "max_batch_seen": stats["max_batch"],
+        "execute_seconds": stats["execute_seconds"],
+    }
+
+
+def run_tcp_point(n: int, l_bits: int, count: int) -> dict:
+    """The wire-path measurement: the same traffic shape through the
+    TCP front-end, one client pipelining ``MAX_BATCH``-sized chunks."""
+    spec = RunSpec(n=n, l_bits=l_bits)
+    warmup = _workload(n, l_bits, 2 * len(SERVE_CYCLE))
+    instances = _workload(n, l_bits, count)
+
+    with serve_background(
+        spec,
+        window_ms=WINDOW_MS,
+        max_batch=MAX_BATCH,
+        max_queue=MAX_QUEUE,
+    ) as client:
+        client.submit_many(warmup)
+        served = 0
+        start = time.perf_counter()
+        for offset in range(0, len(instances), MAX_BATCH):
+            chunk = instances[offset:offset + MAX_BATCH]
+            served += len(client.submit_many(chunk))
+        elapsed = time.perf_counter() - start
+        snapshot = client.ps()
+
+    if served != count:
+        raise AssertionError(
+            "tcp point served %d of %d instances" % (served, count)
+        )
+    return {
+        "n": n,
+        "l_bits": l_bits,
+        "instances": count,
+        "pipeline_chunk": MAX_BATCH,
+        "elapsed_seconds": round(elapsed, 4),
+        "served_per_sec": round(count / elapsed, 1),
+        "latency_ms": snapshot["stats"]["latency_ms"],
+        "mean_batch": snapshot["stats"]["mean_batch"],
+    }
+
+
+def run_check() -> int:
+    """The serving byte-identity sweep plus admission-control smoke.
+
+    A mixed workload covering every ``SERVE_CYCLE`` attack (two seeds
+    each) plus one mixed-inputs honest instance runs three ways —
+    direct ``run_many``, in-process ``ConsensusServer.submit``, and
+    pipelined over TCP — and every served result must equal the direct
+    reference field for field.  A second deployment is targeted over
+    the same TCP connection mid-stream.  Admission control must reject
+    an oversized value and an unknown attack with
+    :class:`InvalidRequestError` and a post-shutdown submit with
+    :class:`ServerClosedError`.
+    """
+    spec = RunSpec(n=7, l_bits=256)
+    other = RunSpec(n=4, l_bits=64)
+    rng = random.Random(INPUT_SEED)
+    values = [rng.getrandbits(256) for _ in range(4)]
+    instances = _workload(7, 256, 2 * len(SERVE_CYCLE))
+    instances.append(
+        InstanceSpec(
+            inputs=tuple(
+                values[pid % 2] for pid in range(7)
+            )
+        )
+    )
+    direct = ConsensusService(spec).run_many(list(instances))
+    direct_other = ConsensusService(other).run_many([5])
+
+    async def inproc():
+        server = ConsensusServer(spec, window_ms=2.0, max_batch=8)
+        await server.start()
+        try:
+            return await asyncio.gather(
+                *(server.submit(instance) for instance in instances)
+            )
+        finally:
+            await server.stop()
+
+    _assert_identical(
+        direct, {"inproc": asyncio.run(inproc())}, "served in-process"
+    )
+
+    with serve_background(spec, window_ms=2.0, max_batch=8) as client:
+        _assert_identical(
+            direct,
+            {"tcp": client.submit_many(list(instances))},
+            "served over TCP",
+        )
+        _assert_identical(
+            direct_other,
+            {"tcp_other_deployment": [client.submit(5, spec=other)]},
+            "served over TCP (second deployment)",
+        )
+        for bad_submit, expected in [
+            (lambda: client.submit(1 << 256), InvalidRequestError),
+            (lambda: client.submit(5, attack="nope"), InvalidRequestError),
+        ]:
+            try:
+                bad_submit()
+            except expected:
+                pass
+            else:
+                raise AssertionError(
+                    "admission control let a %s request through"
+                    % expected.__name__
+                )
+
+    async def closed_submit():
+        server = ConsensusServer(spec, window_ms=1.0)
+        await server.start()
+        await server.stop()
+        try:
+            await server.submit(1)
+        except ServerClosedError:
+            return True
+        return False
+
+    if not asyncio.run(closed_submit()):
+        raise AssertionError("post-shutdown submit was not rejected")
+
+    checked = len(instances) + 1
+    print(
+        "checked %d served instances: in-process and TCP results "
+        "byte-identical to direct run_many; admission rejections typed"
+        % checked
+    )
+    return checked
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small smoke point for CI (seconds, no rate gate)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="also run the serving byte-identity sweep and "
+        "admission-control smoke",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="where to write the JSON report (default: "
+        "BENCH_serving.json at the repo root; quick mode writes "
+        "BENCH_serving_quick.json)",
+    )
+    args = parser.parse_args()
+    if args.output is None:
+        name = (
+            "BENCH_serving_quick.json" if args.quick
+            else "BENCH_serving.json"
+        )
+        args.output = Path(__file__).resolve().parent.parent / name
+
+    checked: Optional[int] = None
+    if args.check:
+        checked = run_check()
+
+    n, l_bits, count = QUICK_POINT if args.quick else FULL_POINT
+    producers = QUICK_PRODUCERS if args.quick else FULL_PRODUCERS
+    serving = run_serving_point(n, l_bits, count, producers)
+    print(
+        "serve n=%d L=2^%d %4d inst  %8.1f/s  p50 %6.2f ms  p99 %6.2f ms"
+        "  (%d flushes, mean batch %.1f)"
+        % (
+            n,
+            l_bits.bit_length() - 1,
+            count,
+            serving["served_per_sec"],
+            serving["latency_ms"]["p50"],
+            serving["latency_ms"]["p99"],
+            serving["flushes"],
+            serving["mean_batch"],
+        )
+    )
+
+    tcp_count = QUICK_TCP if args.quick else FULL_TCP
+    tcp = run_tcp_point(n, l_bits, tcp_count)
+    print(
+        "tcp   n=%d L=2^%d %4d inst  %8.1f/s  p50 %6.2f ms  p99 %6.2f ms"
+        % (
+            n,
+            l_bits.bit_length() - 1,
+            tcp_count,
+            tcp["served_per_sec"],
+            tcp["latency_ms"]["p50"],
+            tcp["latency_ms"]["p99"],
+        )
+    )
+
+    if not args.quick and serving["served_per_sec"] < ACCEPTANCE_PER_SEC:
+        raise AssertionError(
+            "serving point sustained only %.1f instances/sec "
+            "(bar: %.0f/sec)"
+            % (serving["served_per_sec"], ACCEPTANCE_PER_SEC)
+        )
+
+    report = {
+        "benchmark": "bench_serving",
+        "mode": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        # Both CPU counts: the box's total and the affinity-limited
+        # slice this process can schedule on.
+        "cpus": os.cpu_count(),
+        "cpus_available": _available_cpus(),
+        "input_seed": INPUT_SEED,
+        "knobs": {
+            "window_ms": WINDOW_MS,
+            "max_batch": MAX_BATCH,
+            "max_queue": MAX_QUEUE,
+        },
+        "acceptance": {
+            "point": {"n": FULL_POINT[0], "l_bits": FULL_POINT[1]},
+            "min_served_per_sec": ACCEPTANCE_PER_SEC,
+        },
+        "serving": serving,
+        "tcp": tcp,
+    }
+    if checked is not None:
+        report["check_instances"] = checked
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print("wrote %s" % args.output)
+
+
+if __name__ == "__main__":
+    main()

@@ -38,6 +38,7 @@ from repro.core import (
 )
 from repro.processors import ATTACKS, Adversary, make_attack
 from repro.service import (
+    AsyncExecutor,
     ConsensusService,
     InstanceSpec,
     ProcessExecutor,
@@ -57,6 +58,7 @@ __all__ = [
     "SerialExecutor",
     "ProcessExecutor",
     "WorkStealingExecutor",
+    "AsyncExecutor",
     "ATTACKS",
     "make_attack",
     "ConsensusConfig",

@@ -9,6 +9,10 @@ Installed as the ``repro-sim`` entry point::
     repro-sim baseline --which fitzi-hirt --n 7 --l-bits 128
     repro-sim analyze --n 7 --t 2 --l-bits 1048576
     repro-sim sweep --n 7 --t 2 --l-min 10 --l-max 18
+    repro-sim serve --n 7 --l-bits 1024 --port 7411 --window-ms 2
+    repro-sim submit --port 7411 --value 0xBEEF --count 8
+    repro-sim ps --port 7411
+    repro-sim stop --port 7411
 
 Every subcommand prints deterministic bit counts; no randomness beyond
 the seeded adversaries.  Attack names come from the canonical registry
@@ -23,6 +27,7 @@ bites — rather than the historical fixed low-pid prefix.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 import warnings
 from typing import Optional, Sequence
@@ -45,6 +50,13 @@ from repro.processors import Adversary, make_attack, normalize_attack
 from repro.processors import ATTACKS as _ATTACKS
 from repro.service import ConsensusService, InstanceSpec, RunSpec
 from repro.service.executors import EXECUTORS
+from repro.service.serving import (
+    DEFAULT_PORT,
+    AdmissionError,
+    ConsensusServer,
+    ServingClient,
+    ServingError,
+)
 
 
 def __getattr__(name: str):
@@ -231,6 +243,146 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    spec = _make_spec(args)
+
+    async def _serve() -> None:
+        server = ConsensusServer(
+            spec,
+            window_ms=args.window_ms,
+            max_batch=args.max_batch,
+            max_queue=args.max_queue,
+        )
+        tcp = await server.serve_tcp(host=args.host, port=args.port)
+        host, port = tcp.sockets[0].getsockname()[:2]
+        print(
+            "serving n=%d t=%s l_bits=%d on %s:%s"
+            % (spec.n, spec.t, spec.l_bits, host, port)
+        )
+        print(
+            "knobs: window %.1f ms | max batch %d | max queue %d"
+            % (args.window_ms, args.max_batch, args.max_queue),
+            flush=True,
+        )
+        try:
+            await server.wait_closed()
+        finally:
+            if server.running:
+                await server.stop()
+            tcp.close()
+            await tcp.wait_closed()
+        snap = server.stats.snapshot()
+        print(
+            "drained: served %d | rejected %d | flushes %d"
+            % (snap["served"], snap["rejected_total"], snap["flushes"])
+        )
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\ninterrupted; server stopped")
+    return 0
+
+
+def _client(args) -> ServingClient:
+    return ServingClient(host=args.host, port=args.port)
+
+
+def cmd_ps(args) -> int:
+    with _client(args) as client:
+        snap = client.ps()
+    stats = snap["stats"]
+    latency = stats["latency_ms"]
+    deployment = snap["default_deployment"]
+    in_flight = snap["in_flight"]
+    rows = [
+        ("running", snap["running"]),
+        ("uptime", "%.1f s" % snap["uptime_s"]),
+        (
+            "default deployment",
+            "n=%(n)d t=%(t)s l_bits=%(l_bits)d" % deployment,
+        ),
+        ("deployments seen", len(snap["deployments"]) or 1),
+        ("queued", snap["queued"]),
+        (
+            "in flight",
+            "%d instances (%.1f ms)"
+            % (in_flight["instances"], in_flight["age_ms"])
+            if in_flight
+            else "-",
+        ),
+        (
+            "knobs",
+            "window %(window_ms).1f ms | batch %(max_batch)d "
+            "| queue %(max_queue)d" % snap["knobs"],
+        ),
+        ("served", stats["served"]),
+        ("rejected", stats["rejected_total"]),
+        ("flushes", stats["flushes"]),
+        ("mean batch", "%.2f" % stats["mean_batch"]),
+        ("p50 latency", "%.2f ms" % latency["p50"]),
+        ("p99 latency", "%.2f ms" % latency["p99"]),
+    ]
+    for code, count in sorted(stats["rejected"].items()):
+        rows.append(("rejected[%s]" % code, count))
+    print(format_table(("field", "value"), rows))
+    return 0
+
+
+def cmd_submit(args) -> int:
+    value = int(args.value, 0)
+    with _client(args) as client:
+        if args.count > 1:
+            # Pipeline the whole batch so it lands in one server-side
+            # collection window; vary seeds so instances stay distinct.
+            n = client.ps()["default_deployment"]["n"]
+            base = args.seed if args.seed is not None else 0
+            faulty = _parse_faulty(args)
+            batch = [
+                InstanceSpec(
+                    inputs=(value,) * n,
+                    attack=args.attack,
+                    seed=base + i,
+                    faulty=tuple(faulty) if faulty is not None else None,
+                )
+                for i in range(args.count)
+            ]
+            results = client.submit_many(batch)
+        else:
+            results = [
+                client.submit(
+                    value,
+                    attack=args.attack,
+                    seed=args.seed,
+                    faulty=_parse_faulty(args),
+                )
+            ]
+    rows = [
+        (
+            i,
+            result.consistent,
+            result.valid,
+            hex(result.value) if result.value is not None else "-",
+            result.meter.total_bits,
+        )
+        for i, result in enumerate(results)
+    ]
+    print(
+        format_table(
+            ("instance", "consistent", "valid", "decided", "total bits"),
+            rows,
+        )
+    )
+    return 0 if all(r.consistent and r.valid for r in results) else 1
+
+
+def cmd_stop(args) -> int:
+    with _client(args) as client:
+        client.shutdown()
+    print("server at %s:%d draining and stopping" % (args.host, args.port))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sim",
@@ -299,13 +451,69 @@ def build_parser() -> argparse.ArgumentParser:
                    help="largest L as a power of two")
     p.add_argument("--step", type=int, default=2)
     p.set_defaults(func=cmd_sweep)
+
+    def endpoint(p):
+        p.add_argument("--host", default="127.0.0.1",
+                       help="serving host")
+        p.add_argument("--port", type=int, default=DEFAULT_PORT,
+                       help="serving TCP port")
+
+    p = sub.add_parser(
+        "serve",
+        help="run the async serving front-end (docs/SERVING.md)",
+    )
+    common(p, with_value=False)
+    endpoint(p)
+    p.add_argument("--d-bits", type=int, default=None,
+                   help="generation size (default: paper-optimal)")
+    p.add_argument("--window-ms", type=float, default=2.0,
+                   help="micro-batch collection window in ms")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="flush size cap per cohort")
+    p.add_argument("--max-queue", type=int, default=1024,
+                   help="admission queue bound (beyond it: queue_full)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("ps", help="snapshot a running server")
+    endpoint(p)
+    p.set_defaults(func=cmd_ps)
+
+    p = sub.add_parser("submit", help="submit instances to a server")
+    endpoint(p)
+    p.add_argument("--value", default="0xDEADBEEF",
+                   help="common input value (int literal; the server "
+                   "broadcasts it to all n processors)")
+    p.add_argument("--count", type=int, default=1,
+                   help="instances to pipeline in one batch "
+                   "(seeds seed, seed+1, ...)")
+    p.add_argument("--attack", default=None, type=normalize_attack,
+                   choices=sorted(_ATTACKS),
+                   help="Byzantine strategy (default: the deployment's)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="seed for randomised attacks")
+    p.add_argument("--faulty", default="",
+                   help="comma-separated faulty pids")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("stop", help="drain and stop a running server")
+    endpoint(p)
+    p.set_defaults(func=cmd_stop)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ServingError as exc:
+        print("serving error: %s" % exc, file=sys.stderr)
+        return 2
+    except AdmissionError as exc:
+        print(
+            "request rejected (%s): %s" % (exc.code, exc), file=sys.stderr
+        )
+        return 2
 
 
 if __name__ == "__main__":

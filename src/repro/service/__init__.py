@@ -21,6 +21,7 @@ sits and the byte-identity contract its batching honours.
 
 from repro.service.executors import (
     EXECUTORS,
+    AsyncExecutor,
     Executor,
     ProcessExecutor,
     SerialExecutor,
@@ -38,5 +39,6 @@ __all__ = [
     "SerialExecutor",
     "ProcessExecutor",
     "WorkStealingExecutor",
+    "AsyncExecutor",
     "EXECUTORS",
 ]

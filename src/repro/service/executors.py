@@ -19,20 +19,34 @@ An :class:`Executor` receives the service and the coerced
   units (one per :func:`~repro.service.spec.cohort_key`) that workers
   pull from a shared queue as they finish, instead of static contiguous
   shards.
+* :class:`AsyncExecutor` — event-loop integration: the batch runs on
+  one dedicated worker thread while an ``asyncio`` caller awaits
+  :meth:`~AsyncExecutor.run_async`, so a serving loop keeps admitting
+  and micro-batching new requests during a flush.  This is the
+  executor the serving tier (:mod:`repro.service.serving`) drives.
 
-Static sharding has no queue traffic and each shard amortizes its own
-template/encode caches over the longest possible run of instances —
-the right trade for uniform batches.  Mixed-attack batches are not
-uniform: per-instance cost varies by an order of magnitude across
-attack shapes, and a static boundary can idle most of the pool behind
-one slow shard; the work-stealing queue keeps every worker busy until
-the units run out.
+Choosing between them: static sharding has no queue traffic and each
+shard amortizes its own template/encode caches over the longest
+possible run of instances — the right trade for uniform batches.
+Mixed-attack batches are not uniform: per-instance cost varies by an
+order of magnitude across attack shapes, and a static boundary can
+idle most of the pool behind one slow shard; the work-stealing queue
+keeps every worker busy until the units run out.  The async executor
+is not about parallelism at all (one worker thread, GIL-bound): it
+exists so that batch execution does not block an event loop.
+
+>>> from repro.service import ConsensusService, RunSpec
+>>> service = ConsensusService(RunSpec(n=4, l_bits=16))
+>>> [r.value for r in service.run_many([1, 2, 3], executor="async")]
+[1, 2, 3]
 """
 
 from __future__ import annotations
 
+import asyncio
 import multiprocessing
 import os
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.result import ConsensusResult
@@ -251,9 +265,74 @@ class WorkStealingExecutor(Executor):
         return results  # type: ignore[return-value]
 
 
+class AsyncExecutor(Executor):
+    """Run batches off an ``asyncio`` event loop, on one worker thread.
+
+    The engines are synchronous, CPU-bound Python; executing a batch
+    directly inside an event loop would stall every other coroutine —
+    including the serving tier's admission path — for the whole flush.
+    :meth:`run_async` instead submits the batch to a single dedicated
+    worker thread and awaits its completion, so the loop stays
+    responsive (accepting, validating and queueing new requests) while
+    the flush executes.
+
+    Exactly **one** worker thread, deliberately: the service contract
+    (see :mod:`repro.service.arena`) allows one generation in flight
+    per service arena, and a second thread would buy no parallelism
+    under the GIL anyway.  Batches submitted concurrently are executed
+    in submission order.  Execution itself delegates to the same local
+    batching path as :class:`SerialExecutor`, so results are
+    byte-identical to serial execution.
+
+    The synchronous :meth:`run` entry point (the ``Executor``
+    interface, used by ``run_many(executor="async")``) drives a private
+    event loop; calling it *from inside* a running loop raises — await
+    :meth:`run_async` there instead.
+    """
+
+    def __init__(self):
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-batch"
+            )
+        return self._pool
+
+    async def run_async(
+        self, service, specs: Sequence[InstanceSpec]
+    ) -> List[ConsensusResult]:
+        """Await the batch from an event loop without blocking it."""
+        specs = list(specs)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._ensure_pool(),
+            lambda: service._run_many_local(specs),
+        )
+
+    def run(self, service, specs):
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            return asyncio.run(self.run_async(service, specs))
+        raise RuntimeError(
+            "AsyncExecutor.run() called from inside a running event "
+            "loop; await run_async(service, specs) instead"
+        )
+
+    def shutdown(self) -> None:
+        """Join the worker thread (idempotent; the executor stays
+        usable — a later batch lazily builds a fresh thread)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
 #: Executors selectable by name in ``run_many(executor=...)``.
 EXECUTORS = {
     "serial": SerialExecutor,
     "process": ProcessExecutor,
     "work_steal": WorkStealingExecutor,
+    "async": AsyncExecutor,
 }

@@ -1,0 +1,543 @@
+"""The long-lived serving front-end: admission, micro-batching, flush.
+
+:class:`ConsensusServer` is the deployment shape ROADMAP item 1 asks
+for — a process that *receives* consensus traffic rather than a buffer
+the caller drains.  One server owns one
+:class:`~repro.service.service.ConsensusService` per deployment
+(:class:`~repro.service.spec.RunSpec`) it has seen, a bounded
+:class:`~repro.service.serving.batcher.MicroBatcher` admission queue,
+and a single flush task that converts the service layer's 4–13×
+cross-instance batching win into a latency/throughput knob: requests
+collect for ``window_ms`` (or until ``max_batch``), then each
+compatible group flushes as **one** ``run_many`` cohort on an
+:class:`~repro.service.executors.AsyncExecutor` worker thread, keeping
+the event loop free to admit the next window's traffic.
+
+Every served result is byte-identical to a direct ``run_many`` on the
+same :class:`~repro.service.spec.InstanceSpec`s — micro-batching
+changes *when* instances execute, never what they return
+(``tests/test_serving.py`` and ``benchmarks/bench_serving.py --check``
+assert this, extending the PR 5/6 equivalence discipline to the
+serving tier).
+
+In-process use (the TCP front-end in :meth:`ConsensusServer.serve_tcp`
+and the client SDK in :mod:`repro.service.serving.sdk` layer on top):
+
+>>> import asyncio
+>>> from repro.service import RunSpec
+>>> async def demo():
+...     server = ConsensusServer(RunSpec(n=4, l_bits=16), window_ms=1.0)
+...     await server.start()
+...     results = await asyncio.gather(
+...         server.submit(0xBEEF), server.submit(0xF00D, attack="corrupt")
+...     )
+...     await server.stop()
+...     return [r.value for r in results], server.stats.flushes
+>>> asyncio.run(demo())
+([48879, 61453], 1)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.result import ConsensusResult
+from repro.processors.registry import ATTACKS
+from repro.service.executors import AsyncExecutor
+from repro.service.service import ConsensusService, InstanceLike
+from repro.service.serving.batcher import (
+    AdmissionError,
+    InvalidRequestError,
+    MicroBatcher,
+    QueueFullError,
+    ServerClosedError,
+)
+from repro.service.serving.stats import ServingStats
+from repro.service.serving.wire import (
+    WIRE_VERSION,
+    instance_from_wire,
+    result_to_wire,
+    runspec_from_wire,
+    runspec_to_wire,
+)
+from repro.service.spec import InstanceSpec, RunSpec
+
+#: Default TCP port for ``repro-sim serve`` (overridable everywhere).
+DEFAULT_PORT = 7411
+
+
+class _Request:
+    """One admitted request: its instance, deployment, future, clock."""
+
+    __slots__ = ("instance", "spec", "future", "enqueued_at")
+
+    def __init__(
+        self,
+        instance: InstanceSpec,
+        spec: RunSpec,
+        future: "asyncio.Future[ConsensusResult]",
+        enqueued_at: float,
+    ):
+        self.instance = instance
+        self.spec = spec
+        self.future = future
+        self.enqueued_at = enqueued_at
+
+
+class ConsensusServer:
+    """Async serving front-end over one or more consensus deployments.
+
+    Args:
+        spec: the default deployment (requests may target others by
+            passing their own :class:`RunSpec`; each distinct spec gets
+            its own long-lived service, and one flush never mixes
+            deployments).
+        window_ms: micro-batch collection window in milliseconds,
+            measured from the oldest queued request.
+        max_batch: flush size cap per cohort; a group reaching it
+            flushes without waiting out the window.
+        max_queue: bounded admission queue across all deployments;
+            beyond it, :meth:`submit` raises
+            :class:`~repro.service.serving.batcher.QueueFullError`.
+        executor: the :class:`~repro.service.executors.AsyncExecutor`
+            batches run on (a private one by default).
+        sample_cap: latency samples retained for percentiles (see
+            :class:`~repro.service.serving.stats.ServingStats`).
+    """
+
+    def __init__(
+        self,
+        spec: Union[RunSpec, "ConsensusService"],
+        window_ms: float = 2.0,
+        max_batch: int = 64,
+        max_queue: int = 1024,
+        executor: Optional[AsyncExecutor] = None,
+        sample_cap: int = 65536,
+    ):
+        if isinstance(spec, ConsensusService):
+            self.spec = spec.spec
+            self._services: Dict[RunSpec, ConsensusService] = {
+                spec.spec: spec
+            }
+        elif isinstance(spec, RunSpec):
+            self.spec = spec
+            self._services = {}
+        else:
+            raise TypeError(
+                "expected a RunSpec or ConsensusService, got %r"
+                % type(spec).__name__
+            )
+        self.window_ms = float(window_ms)
+        self.max_batch = int(max_batch)
+        self.max_queue = int(max_queue)
+        self._batcher: MicroBatcher[_Request] = MicroBatcher(
+            window_s=self.window_ms / 1000.0,
+            max_batch=self.max_batch,
+            max_queue=self.max_queue,
+        )
+        self._executor = executor if executor is not None else AsyncExecutor()
+        self.stats = ServingStats(sample_cap=sample_cap)
+        self._flush_task: Optional[asyncio.Task] = None
+        #: set on any admission — wakes an idle flush loop.
+        self._wake: Optional[asyncio.Event] = None
+        #: set on size-cap or shutdown — cuts a running window short.
+        self._kick: Optional[asyncio.Event] = None
+        self._closing = False
+        self._in_flight: Optional[dict] = None
+        self._tcp: Optional[asyncio.AbstractServer] = None
+        self._closed = asyncio.Event()
+        self._started_at: Optional[float] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """True between :meth:`start` and the end of :meth:`stop`."""
+        return self._flush_task is not None and not self._flush_task.done()
+
+    async def start(self) -> None:
+        """Start the flush loop (idempotent; must run inside a loop)."""
+        if self.running:
+            return
+        self._closing = False
+        self._closed = asyncio.Event()
+        self._wake = asyncio.Event()
+        self._kick = asyncio.Event()
+        self._started_at = time.monotonic()
+        self._flush_task = asyncio.create_task(
+            self._flush_loop(), name="repro-serve-flush"
+        )
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop admitting and shut the flush loop down.
+
+        With ``drain=True`` (the default, the clean shutdown) every
+        already-admitted request still executes and resolves before
+        this returns; with ``drain=False`` queued requests fail with
+        :class:`ServerClosedError` (a batch already executing on the
+        worker thread still completes and resolves — the engine is not
+        preemptible, and killing results that are milliseconds away
+        helps nobody).
+        """
+        self._closing = True
+        if self._wake is not None:
+            self._wake.set()
+        if not drain:
+            for _, requests in self._batcher.drain_all():
+                for request in requests:
+                    if not request.future.done():
+                        request.future.set_exception(
+                            ServerClosedError("server stopped before flush")
+                        )
+        if self._kick is not None:
+            self._kick.set()
+        if self._flush_task is not None:
+            await self._flush_task
+            self._flush_task = None
+        self._executor.shutdown()
+        self._closed.set()
+
+    async def wait_closed(self) -> None:
+        """Block until :meth:`stop` has completed (however initiated —
+        directly or via a TCP ``shutdown`` op)."""
+        await self._closed.wait()
+
+    # -- admission ----------------------------------------------------------
+
+    def service_for(self, spec: Optional[RunSpec] = None) -> ConsensusService:
+        """The long-lived service hosting ``spec`` (default: the
+        server's default deployment), built on first need."""
+        spec = spec if spec is not None else self.spec
+        service = self._services.get(spec)
+        if service is None:
+            service = ConsensusService(spec)
+            self._services[spec] = service
+        return service
+
+    def _validate(
+        self, instance: InstanceSpec, spec: RunSpec
+    ) -> InstanceSpec:
+        if len(instance.inputs) != spec.n:
+            raise InvalidRequestError(
+                "instance carries %d inputs for an n=%d deployment"
+                % (len(instance.inputs), spec.n)
+            )
+        for value in instance.inputs:
+            # Reject at admission: an instance that can never run would
+            # otherwise fail mid-flush and take its cohort-mates' batch
+            # down with it.
+            if value < 0 or value >> spec.l_bits:
+                raise InvalidRequestError(
+                    "input value %d does not fit in l_bits=%d"
+                    % (value, spec.l_bits)
+                )
+        attack = (
+            instance.attack if instance.attack is not None else spec.attack
+        )
+        if attack not in ATTACKS:
+            raise InvalidRequestError(
+                "unknown attack %r (choose from %s)"
+                % (attack, sorted(ATTACKS))
+            )
+        return instance
+
+    async def submit(
+        self,
+        inputs: InstanceLike,
+        attack: Optional[str] = None,
+        seed: Optional[int] = None,
+        faulty: Optional[Sequence[int]] = None,
+        spec: Optional[RunSpec] = None,
+    ) -> ConsensusResult:
+        """Admit one instance and await its result.
+
+        ``inputs`` is anything ``run_many`` accepts (an
+        :class:`InstanceSpec`, the per-processor sequence, or one value
+        every processor holds); ``spec`` targets a non-default
+        deployment.  The coroutine resolves when the request's cohort
+        has flushed — byte-identical to a direct ``run_many``.
+
+        Raises:
+            QueueFullError: the admission queue is at capacity.
+            InvalidRequestError: the request can never succeed.
+            ServerClosedError: the server is shutting down.
+        """
+        if self._closing or self._wake is None:
+            self.stats.record_rejection(ServerClosedError.code)
+            raise ServerClosedError("server is not admitting requests")
+        spec = spec if spec is not None else self.spec
+        try:
+            instance = self._validate(
+                self.service_for(spec)._coerce(
+                    inputs, attack=attack, seed=seed, faulty=faulty
+                ),
+                spec,
+            )
+        except AdmissionError:
+            self.stats.record_rejection(InvalidRequestError.code)
+            raise
+        except (TypeError, ValueError) as exc:
+            self.stats.record_rejection(InvalidRequestError.code)
+            raise InvalidRequestError(str(exc)) from exc
+        future: "asyncio.Future[ConsensusResult]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        request = _Request(instance, spec, future, time.monotonic())
+        try:
+            capped = self._batcher.offer(
+                spec, request, now=request.enqueued_at
+            )
+        except QueueFullError:
+            self.stats.record_rejection(QueueFullError.code)
+            raise
+        self._wake.set()
+        if capped:
+            self._kick.set()
+        return await future
+
+    # -- the flush loop -----------------------------------------------------
+
+    async def _flush_loop(self) -> None:
+        assert self._wake is not None and self._kick is not None
+        while True:
+            while not self._batcher.pending and not self._closing:
+                self._wake.clear()
+                await self._wake.wait()
+            if not self._batcher.pending and self._closing:
+                return
+            # Collection window: wait out the oldest request's window,
+            # cut short by a size-cap kick or shutdown.
+            while not self._closing:
+                # Flush every group already at the size cap *before*
+                # re-arming the kick: a kick set while this loop was
+                # elsewhere (admissions during a flush, or before the
+                # loop first woke) must not be lost to the clear below.
+                while True:
+                    capped = self._batcher.drain_capped()
+                    if not capped:
+                        break
+                    for spec, requests in capped:
+                        await self._execute(spec, requests)
+                deadline = self._batcher.deadline()
+                if deadline is None:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._kick.clear()
+                try:
+                    await asyncio.wait_for(self._kick.wait(), remaining)
+                except asyncio.TimeoutError:
+                    break
+            for spec, requests in self._batcher.drain_all():
+                await self._execute(spec, requests)
+
+    async def _execute(
+        self, spec: RunSpec, requests: List[_Request]
+    ) -> None:
+        """Flush one cohort: one ``run_many`` on the deployment's
+        service, off-loop; resolve futures and record latencies."""
+        service = self.service_for(spec)
+        batch = [request.instance for request in requests]
+        self._in_flight = {
+            "spec": spec,
+            "instances": len(batch),
+            "started_at": time.monotonic(),
+        }
+        started = time.perf_counter()
+        try:
+            results = await self._executor.run_async(service, batch)
+        except Exception as exc:  # engine failure: fail the cohort
+            for request in requests:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+            return
+        finally:
+            self._in_flight = None
+        done = time.monotonic()
+        self.stats.record_flush(len(batch), time.perf_counter() - started)
+        for request, result in zip(requests, results):
+            self.stats.record_latency(done - request.enqueued_at)
+            if not request.future.done():
+                request.future.set_result(result)
+
+    # -- introspection ------------------------------------------------------
+
+    def ps(self) -> dict:
+        """A JSON-safe snapshot of queue depth, in-flight batch and
+        lifetime stats — what ``repro-sim ps`` renders."""
+        now = time.monotonic()
+        in_flight = None
+        if self._in_flight is not None:
+            in_flight = {
+                "deployment": runspec_to_wire(self._in_flight["spec"]),
+                "instances": self._in_flight["instances"],
+                "age_ms": round(
+                    (now - self._in_flight["started_at"]) * 1000, 3
+                ),
+            }
+        return {
+            "wire_version": WIRE_VERSION,
+            "running": self.running,
+            "closing": self._closing,
+            "uptime_s": (
+                round(now - self._started_at, 3)
+                if self._started_at is not None
+                else 0.0
+            ),
+            "default_deployment": runspec_to_wire(self.spec),
+            "deployments": [
+                {
+                    "deployment": runspec_to_wire(spec),
+                    "queued": queued,
+                }
+                for spec, queued in self._batcher.group_sizes().items()
+            ],
+            "queued": self._batcher.pending,
+            "in_flight": in_flight,
+            "knobs": {
+                "window_ms": self.window_ms,
+                "max_batch": self.max_batch,
+                "max_queue": self.max_queue,
+            },
+            "stats": self.stats.snapshot(),
+        }
+
+    # -- TCP front-end ------------------------------------------------------
+
+    async def serve_tcp(
+        self, host: str = "127.0.0.1", port: int = DEFAULT_PORT
+    ) -> asyncio.AbstractServer:
+        """Expose this server over newline-delimited JSON on TCP.
+
+        Ops: ``submit`` (an instance, optionally a ``spec`` for a
+        non-default deployment), ``ps``, ``shutdown``.  Every request
+        may carry an ``id``, echoed in its response, so clients can
+        pipeline submits over one connection; error responses carry the
+        :class:`AdmissionError` wire ``code``.  Returns the listening
+        ``asyncio`` server (``port=0`` picks an ephemeral port).
+        """
+        await self.start()
+        self._tcp = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        return self._tcp
+
+    async def _handle_connection(self, reader, writer) -> None:
+        write_lock = asyncio.Lock()
+        submits: List[asyncio.Task] = []
+
+        async def respond(payload: dict) -> None:
+            async with write_lock:
+                writer.write(json.dumps(payload).encode() + b"\n")
+                await writer.drain()
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    message = json.loads(line)
+                    if not isinstance(message, dict):
+                        raise ValueError("request must be a JSON object")
+                except ValueError as exc:
+                    await respond(_error(None, InvalidRequestError(str(exc))))
+                    continue
+                op = message.get("op")
+                if op == "submit":
+                    # Each submit is its own task: the connection keeps
+                    # reading, so one client can fill a whole window.
+                    submits.append(
+                        asyncio.create_task(
+                            self._handle_submit(message, respond)
+                        )
+                    )
+                elif op == "ps":
+                    await respond(
+                        {"id": message.get("id"), "ok": True, "ps": self.ps()}
+                    )
+                elif op == "shutdown":
+                    await respond({"id": message.get("id"), "ok": True})
+                    asyncio.create_task(self._shutdown_from_op())
+                    break
+                else:
+                    await respond(
+                        _error(
+                            message.get("id"),
+                            InvalidRequestError("unknown op %r" % (op,)),
+                        )
+                    )
+        finally:
+            if submits:
+                await asyncio.gather(*submits, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_submit(self, message: dict, respond) -> None:
+        request_id = message.get("id")
+        try:
+            try:
+                spec = (
+                    runspec_from_wire(message["spec"])
+                    if message.get("spec") is not None
+                    else None
+                )
+                if "instance" in message:
+                    inputs: InstanceLike = instance_from_wire(
+                        message["instance"]
+                    )
+                    overrides: dict = {}
+                elif "value" in message:
+                    # The bare-value shorthand: the server broadcasts
+                    # it to all n processors of the target deployment.
+                    inputs = int(message["value"])
+                    overrides = {
+                        "attack": message.get("attack"),
+                        "seed": message.get("seed"),
+                        "faulty": (
+                            tuple(message["faulty"])
+                            if message.get("faulty") is not None
+                            else None
+                        ),
+                    }
+                else:
+                    raise KeyError("instance")
+            except (KeyError, TypeError, ValueError) as exc:
+                raise InvalidRequestError(
+                    "malformed submit payload: %s" % exc
+                ) from exc
+            result = await self.submit(inputs, spec=spec, **overrides)
+        except AdmissionError as exc:
+            await respond(_error(request_id, exc))
+        else:
+            await respond(
+                {
+                    "id": request_id,
+                    "ok": True,
+                    "result": result_to_wire(result),
+                }
+            )
+
+    async def _shutdown_from_op(self) -> None:
+        """The TCP ``shutdown`` op: drain, then close the listener."""
+        await self.stop(drain=True)
+        if self._tcp is not None:
+            self._tcp.close()
+            await self._tcp.wait_closed()
+            self._tcp = None
+
+
+def _error(request_id, exc: AdmissionError) -> dict:
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": exc.code,
+        "message": str(exc),
+    }

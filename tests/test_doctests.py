@@ -17,7 +17,13 @@ import repro.graphs.cliques
 import repro.graphs.diagnosis_graph
 import repro.network.simulator
 import repro.processors.composite
+import repro.service.executors
 import repro.service.service
+import repro.service.serving.batcher
+import repro.service.serving.sdk
+import repro.service.serving.server
+import repro.service.serving.stats
+import repro.service.serving.wire
 
 MODULES = [
     repro.broadcast_bit.interface,
@@ -30,6 +36,12 @@ MODULES = [
     repro.network.simulator,
     repro.processors.composite,
     repro.service.service,
+    repro.service.executors,
+    repro.service.serving.batcher,
+    repro.service.serving.stats,
+    repro.service.serving.wire,
+    repro.service.serving.server,
+    repro.service.serving.sdk,
 ]
 
 
