@@ -1,0 +1,157 @@
+"""Field-by-field divergence detection between two consensus results.
+
+:func:`compare` diffs a live result against its replayed counterpart in
+round order — per-generation records first (so the earliest divergent
+round surfaces as :attr:`DivergenceReport.first`), then the bit meters
+tag by tag, then decisions and the top-level scalars.  The byte-identity
+discipline of this repository means *any* divergence is a bug or an
+attack: every engine variant must produce identical results, so the
+report is empty exactly when replay confirmed the recording.
+
+>>> from repro.service import ConsensusService, RunSpec
+>>> result = ConsensusService(RunSpec(n=4, l_bits=16)).run(0xBEEF)
+>>> compare(result, result).identical
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.core.result import ConsensusResult, GenerationResult
+
+#: GenerationResult fields compared per round, in report order.
+_GENERATION_FIELDS = (
+    "outcome",
+    "decisions",
+    "p_match",
+    "p_decide",
+    "removed_edges",
+    "isolated",
+    "detectors",
+)
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One differing field: where it is, and both values."""
+
+    field: str
+    detail: str
+    live: Any
+    replayed: Any
+
+    def to_wire(self) -> dict:
+        return {
+            "field": self.field,
+            "detail": self.detail,
+            "live": repr(self.live),
+            "replayed": repr(self.replayed),
+        }
+
+
+@dataclass(frozen=True)
+class DivergenceReport:
+    """All divergences found, earliest round first."""
+
+    divergences: tuple
+
+    @property
+    def identical(self) -> bool:
+        return not self.divergences
+
+    @property
+    def first(self) -> Optional[Divergence]:
+        """The earliest divergence (first round / first tag), or None."""
+        return self.divergences[0] if self.divergences else None
+
+    def to_wire(self) -> dict:
+        return {
+            "identical": self.identical,
+            "divergences": [d.to_wire() for d in self.divergences],
+        }
+
+
+def _diff_generation(
+    g: int, live: GenerationResult, replayed: GenerationResult, out: List
+) -> None:
+    for name in _GENERATION_FIELDS:
+        a, b = getattr(live, name), getattr(replayed, name)
+        if a != b:
+            out.append(
+                Divergence(
+                    field="generation_results[%d].%s" % (g, name),
+                    detail="round %d, field %s" % (g, name),
+                    live=a,
+                    replayed=b,
+                )
+            )
+
+
+def compare(
+    live: ConsensusResult, replayed: ConsensusResult
+) -> DivergenceReport:
+    """Diff two results; empty report iff they are byte-identical."""
+    out: List[Divergence] = []
+
+    count = (len(live.generation_results), len(replayed.generation_results))
+    if count[0] != count[1]:
+        out.append(
+            Divergence(
+                field="generation_results",
+                detail="generation count %d vs %d" % count,
+                live=count[0],
+                replayed=count[1],
+            )
+        )
+    for g, (a, b) in enumerate(
+        zip(live.generation_results, replayed.generation_results)
+    ):
+        _diff_generation(g, a, b, out)
+
+    for label, a_map, b_map in (
+        ("meter.bits_by_tag", live.meter.bits_by_tag, replayed.meter.bits_by_tag),
+        (
+            "meter.messages_by_tag",
+            live.meter.messages_by_tag,
+            replayed.meter.messages_by_tag,
+        ),
+    ):
+        for tag in sorted(set(a_map) | set(b_map)):
+            a, b = a_map.get(tag), b_map.get(tag)
+            if a != b:
+                out.append(
+                    Divergence(
+                        field="%s[%r]" % (label, tag),
+                        detail="tag %s" % tag,
+                        live=a,
+                        replayed=b,
+                    )
+                )
+
+    for pid in sorted(set(live.decisions) | set(replayed.decisions)):
+        a, b = live.decisions.get(pid), replayed.decisions.get(pid)
+        if a != b:
+            out.append(
+                Divergence(
+                    field="decisions[%d]" % pid,
+                    detail="processor %d decision" % pid,
+                    live=a,
+                    replayed=b,
+                )
+            )
+
+    for name in (
+        "diagnosis_count",
+        "default_used",
+        "honest_inputs_equal",
+        "common_input",
+    ):
+        a, b = getattr(live, name), getattr(replayed, name)
+        if a != b:
+            out.append(
+                Divergence(field=name, detail=name, live=a, replayed=b)
+            )
+
+    return DivergenceReport(divergences=tuple(out))

@@ -1,0 +1,455 @@
+"""Authenticated, append-only consensus transcripts.
+
+A :class:`Transcript` freezes one consensus run into an auditable
+artifact: the declarative :class:`~repro.service.spec.RunSpec` /
+:class:`~repro.service.spec.InstanceSpec` pair that reproduces it, every
+journalled :class:`~repro.network.message.Message` in delivery order,
+and the full :class:`~repro.core.result.ConsensusResult` (decisions,
+per-generation records, meter snapshot).  Each journal entry carries a
+per-processor HMAC authentication tag computed over a running hash
+chain, so flipping a payload, swapping tags between entries, dropping a
+message, or truncating the tail all break verification at a localizable
+position — the accountability property the pod line of work makes a
+first-class consensus feature.
+
+Serialization reuses the lossless conventions of
+:mod:`repro.service.serving.wire`: plain JSON with exact
+arbitrary-precision ints (multi-thousand-bit super-symbol payloads
+round-trip with no hex detour), tuples as lists, int dict keys as
+strings, every conversion inverted exactly on decode.  The canonical
+byte form (sorted keys, no whitespace) gives a stable content digest.
+
+>>> from repro.service import ConsensusService, RunSpec
+>>> service = ConsensusService(RunSpec(n=4, l_bits=16))
+>>> result, transcript = service.record(0xBEEF)
+>>> transcript.verify().ok
+True
+>>> transcript.digest() == Transcript.from_wire(transcript.to_wire()).digest()
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Union
+
+from repro.core.result import ConsensusResult
+from repro.network.message import Message
+from repro.service.serving.wire import (
+    instance_from_wire,
+    instance_to_wire,
+    result_from_wire,
+    result_to_wire,
+    runspec_from_wire,
+    runspec_to_wire,
+)
+from repro.service.spec import InstanceSpec, RunSpec
+
+#: Transcript format identifier, bumped on any incompatible change.
+TRANSCRIPT_VERSION = 1
+
+#: Demo master key used when the caller does not supply one.  Real
+#: deployments derive per-deployment keys; the default exists so that
+#: ``repro-sim audit record`` followed by ``audit verify`` works out of
+#: the box and so tests never share secrets with production.
+DEFAULT_KEY = b"repro-audit-demo-key"
+
+
+def _canonical(obj: Any) -> bytes:
+    """Canonical JSON bytes: sorted keys, no whitespace, exact ints."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode()
+
+
+def _encode_payload(payload: Any) -> Any:
+    """A journal payload as a JSON-safe value, ints kept exact."""
+    if payload is None or isinstance(payload, bool):
+        return payload
+    if isinstance(payload, int):
+        return int(payload)
+    return {"repr": repr(payload)}
+
+
+class Keyring:
+    """Per-processor HMAC keys derived from one master secret.
+
+    The master key never appears in a transcript; only a short
+    fingerprint (:attr:`key_id`) is stored so a verifier can detect a
+    wrong-key mistake before reporting spurious tampering.
+    """
+
+    def __init__(self, master: bytes = DEFAULT_KEY):
+        if not isinstance(master, bytes) or not master:
+            raise ValueError("master key must be non-empty bytes")
+        self._master = master
+        self.key_id = hashlib.sha256(
+            b"repro-audit-keyid:" + master
+        ).hexdigest()[:16]
+        self._keys: dict = {}
+
+    def key_for(self, pid: int) -> bytes:
+        """The sending key of processor ``pid``."""
+        key = self._keys.get(pid)
+        if key is None:
+            key = hmac.new(
+                self._master, b"repro-audit-pid:%d" % pid, hashlib.sha256
+            ).digest()
+            self._keys[pid] = key
+        return key
+
+    def seal(self, count: int, chain: bytes, result_bytes: bytes) -> str:
+        """Tail seal binding entry count, chain head and result."""
+        mac = hmac.new(self._master, b"repro-audit-seal:", hashlib.sha256)
+        mac.update(b"%d:" % count)
+        mac.update(chain)
+        mac.update(hashlib.sha256(result_bytes).digest())
+        return mac.hexdigest()
+
+
+@dataclass(frozen=True)
+class TranscriptEntry:
+    """One journalled message plus its authentication tag.
+
+    ``payload`` is stored in wire form (an exact int for symbol
+    messages, ``{"repr": ...}`` for anything non-numeric), ``auth`` is
+    the hex HMAC of the sender over the hash chain up to this entry.
+    """
+
+    index: int
+    round_index: int
+    sender: int
+    receiver: int
+    tag: str
+    bits: int
+    payload: Any
+    auth: str
+
+    def content_wire(self) -> dict:
+        """The authenticated fields (everything except ``auth``)."""
+        return {
+            "index": self.index,
+            "round": self.round_index,
+            "sender": self.sender,
+            "receiver": self.receiver,
+            "tag": self.tag,
+            "bits": self.bits,
+            "payload": self.payload,
+        }
+
+    def to_wire(self) -> dict:
+        payload = self.content_wire()
+        payload["auth"] = self.auth
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "TranscriptEntry":
+        return cls(
+            index=payload["index"],
+            round_index=payload["round"],
+            sender=payload["sender"],
+            receiver=payload["receiver"],
+            tag=payload["tag"],
+            bits=payload["bits"],
+            payload=payload["payload"],
+            auth=payload["auth"],
+        )
+
+    def matches_message(self, message: Message) -> Optional[str]:
+        """Name of the first field differing from ``message`` (or None)."""
+        if self.round_index != message.round_index:
+            return "round"
+        if self.sender != message.sender:
+            return "sender"
+        if self.receiver != message.receiver:
+            return "receiver"
+        if self.tag != message.tag:
+            return "tag"
+        if self.bits != message.bits:
+            return "bits"
+        if self.payload != _encode_payload(message.payload):
+            return "payload"
+        return None
+
+
+@dataclass(frozen=True)
+class VerifyReport:
+    """Outcome of :func:`verify_transcript`.
+
+    ``failed_index`` localizes the first broken entry; ``None`` with
+    ``ok=False`` means the failure is structural (wrong key, or a seal
+    mismatch from tail truncation / result tampering).
+    """
+
+    ok: bool
+    checked: int
+    failed_index: Optional[int] = None
+    reason: Optional[str] = None
+
+    def to_wire(self) -> dict:
+        return {
+            "ok": self.ok,
+            "checked": self.checked,
+            "failed_index": self.failed_index,
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class Transcript:
+    """An authenticated record of one consensus run."""
+
+    spec: RunSpec
+    instance: InstanceSpec
+    entries: tuple
+    result: ConsensusResult
+    key_id: str
+    seal: str
+    version: int = TRANSCRIPT_VERSION
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def record(
+        cls,
+        spec: RunSpec,
+        instance: InstanceSpec,
+        journal: Sequence[Message],
+        result: ConsensusResult,
+        key: bytes = DEFAULT_KEY,
+    ) -> "Transcript":
+        """Authenticate a journal into a transcript.
+
+        Entries are chained: ``auth_i`` is the sender's HMAC over the
+        chain head after entry ``i-1`` plus entry ``i``'s canonical
+        bytes, and the seal binds the final chain head, the entry count
+        and the result — so no single-entry edit, swap or drop survives
+        :func:`verify_transcript`.
+        """
+        ring = Keyring(key)
+        chain = cls._chain_seed(spec, instance, ring.key_id)
+        entries: List[TranscriptEntry] = []
+        for index, message in enumerate(journal):
+            content = {
+                "index": index,
+                "round": message.round_index,
+                "sender": message.sender,
+                "receiver": message.receiver,
+                "tag": message.tag,
+                "bits": message.bits,
+                "payload": _encode_payload(message.payload),
+            }
+            entry_bytes = _canonical(content)
+            auth = hmac.new(
+                ring.key_for(message.sender),
+                chain + entry_bytes,
+                hashlib.sha256,
+            ).hexdigest()
+            chain = hashlib.sha256(chain + entry_bytes).digest()
+            entries.append(
+                TranscriptEntry(auth=auth, **_entry_kwargs(content))
+            )
+        result_bytes = _canonical(result_to_wire(result))
+        return cls(
+            spec=spec,
+            instance=instance,
+            entries=tuple(entries),
+            result=result,
+            key_id=ring.key_id,
+            seal=ring.seal(len(entries), chain, result_bytes),
+        )
+
+    @staticmethod
+    def _chain_seed(spec: RunSpec, instance: InstanceSpec, key_id: str) -> bytes:
+        header = {
+            "format": TRANSCRIPT_VERSION,
+            "spec": runspec_to_wire(spec),
+            "instance": instance_to_wire(instance),
+            "key_id": key_id,
+        }
+        return hashlib.sha256(_canonical(header)).digest()
+
+    # -- serialization ------------------------------------------------
+
+    def to_wire(self) -> dict:
+        """The transcript as a lossless JSON-safe dict."""
+        return {
+            "format": self.version,
+            "spec": runspec_to_wire(self.spec),
+            "instance": instance_to_wire(self.instance),
+            "key_id": self.key_id,
+            "entries": [entry.to_wire() for entry in self.entries],
+            "result": result_to_wire(self.result),
+            "seal": self.seal,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "Transcript":
+        """Exact inverse of :meth:`to_wire`."""
+        return cls(
+            spec=runspec_from_wire(payload["spec"]),
+            instance=instance_from_wire(payload["instance"]),
+            entries=tuple(
+                TranscriptEntry.from_wire(entry)
+                for entry in payload["entries"]
+            ),
+            result=result_from_wire(payload["result"]),
+            key_id=payload["key_id"],
+            seal=payload["seal"],
+            version=payload["format"],
+        )
+
+    def save(self, path: Union[str, "object"]) -> None:
+        """Write the canonical JSON form to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(
+                self.to_wire(), handle, sort_keys=True, separators=(",", ":")
+            )
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: Union[str, "object"]) -> "Transcript":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_wire(json.load(handle))
+
+    def digest(self) -> str:
+        """Stable content digest over the canonical serialized form."""
+        return hashlib.sha256(_canonical(self.to_wire())).hexdigest()
+
+    # -- inspection ---------------------------------------------------
+
+    def messages(self) -> List[Message]:
+        """The journalled messages, reconstructed in recorded order.
+
+        Only exact-int payloads are invertible; entries whose payload
+        was stored as a ``repr`` marker raise, since replay comparison
+        happens in wire form and never needs the original object.
+        """
+        out = []
+        for entry in self.entries:
+            if isinstance(entry.payload, dict):
+                raise ValueError(
+                    "entry %d payload is non-numeric (%r); compare in"
+                    " wire form instead" % (entry.index, entry.payload)
+                )
+            out.append(
+                Message(
+                    sender=entry.sender,
+                    receiver=entry.receiver,
+                    payload=entry.payload,
+                    bits=entry.bits,
+                    tag=entry.tag,
+                    round_index=entry.round_index,
+                )
+            )
+        return out
+
+    def verify(self, key: bytes = DEFAULT_KEY) -> VerifyReport:
+        """Check every authentication tag and the seal; see
+        :func:`verify_transcript`."""
+        return verify_transcript(self, key=key)
+
+
+def _entry_kwargs(content: dict) -> dict:
+    return {
+        "index": content["index"],
+        "round_index": content["round"],
+        "sender": content["sender"],
+        "receiver": content["receiver"],
+        "tag": content["tag"],
+        "bits": content["bits"],
+        "payload": content["payload"],
+    }
+
+
+def verify_transcript(
+    transcript: Transcript, key: bytes = DEFAULT_KEY
+) -> VerifyReport:
+    """Recompute the hash chain and check every tag plus the seal.
+
+    Failure modes and how they are localized:
+
+    - payload/field flip at entry *i* → authentication tag mismatch at
+      ``failed_index = i``;
+    - authentication tags swapped between entries → mismatch at the
+      earlier of the two positions;
+    - interior entry dropped → stored ``index`` disagrees with the
+      position, reported at the drop point;
+    - tail entry dropped, or result tampered → seal mismatch
+      (``failed_index = None``).
+    """
+    ring = Keyring(key)
+    if ring.key_id != transcript.key_id:
+        return VerifyReport(
+            ok=False,
+            checked=0,
+            reason="key id mismatch: transcript was recorded under %s,"
+            " verifier key is %s" % (transcript.key_id, ring.key_id),
+        )
+    chain = Transcript._chain_seed(
+        transcript.spec, transcript.instance, ring.key_id
+    )
+    for position, entry in enumerate(transcript.entries):
+        if entry.index != position:
+            return VerifyReport(
+                ok=False,
+                checked=position,
+                failed_index=position,
+                reason="entry index %d found at position %d: an entry"
+                " was dropped or reordered" % (entry.index, position),
+            )
+        entry_bytes = _canonical(entry.content_wire())
+        expected = hmac.new(
+            ring.key_for(entry.sender), chain + entry_bytes, hashlib.sha256
+        ).hexdigest()
+        if not hmac.compare_digest(expected, entry.auth):
+            return VerifyReport(
+                ok=False,
+                checked=position,
+                failed_index=position,
+                reason="authentication tag mismatch at entry %d"
+                " (sender %d, round %d, tag %r)"
+                % (position, entry.sender, entry.round_index, entry.tag),
+            )
+        chain = hashlib.sha256(chain + entry_bytes).digest()
+    result_bytes = _canonical(result_to_wire(transcript.result))
+    expected_seal = ring.seal(len(transcript.entries), chain, result_bytes)
+    if not hmac.compare_digest(expected_seal, transcript.seal):
+        return VerifyReport(
+            ok=False,
+            checked=len(transcript.entries),
+            reason="seal mismatch: entries dropped from the tail or"
+            " the recorded result was tampered with",
+        )
+    return VerifyReport(ok=True, checked=len(transcript.entries))
+
+
+@dataclass
+class TranscriptRecorder:
+    """Sink passed to ``ConsensusService.run(..., transcript=...)``.
+
+    The service captures one :class:`Transcript` per instance it runs;
+    the recorder accumulates them (``transcripts``) and exposes the most
+    recent one (:attr:`transcript`) for the common single-run case.
+    """
+
+    key: bytes = DEFAULT_KEY
+    transcripts: List[Transcript] = field(default_factory=list)
+
+    @property
+    def transcript(self) -> Optional[Transcript]:
+        return self.transcripts[-1] if self.transcripts else None
+
+    def capture(
+        self,
+        spec: RunSpec,
+        instance: InstanceSpec,
+        journal: Sequence[Message],
+        result: ConsensusResult,
+    ) -> Transcript:
+        recorded = Transcript.record(
+            spec, instance, journal, result, key=self.key
+        )
+        self.transcripts.append(recorded)
+        return recorded

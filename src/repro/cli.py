@@ -13,6 +13,10 @@ Installed as the ``repro-sim`` entry point::
     repro-sim submit --port 7411 --value 0xBEEF --count 8
     repro-sim ps --port 7411
     repro-sim stop --port 7411
+    repro-sim audit record --n 7 --attack corrupt --out transcript.json
+    repro-sim audit verify --transcript transcript.json
+    repro-sim audit replay --transcript transcript.json
+    repro-sim audit prove --transcript transcript.json --json proof.json
 
 Every subcommand prints deterministic bit counts; no randomness beyond
 the seeded adversaries.  Attack names come from the canonical registry
@@ -28,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import json
 import sys
 import warnings
 from typing import Optional, Sequence
@@ -383,6 +388,83 @@ def cmd_stop(args) -> int:
     return 0
 
 
+def _write_report(path: Optional[str], payload: dict) -> None:
+    if not path:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("report     : %s" % path)
+
+
+def cmd_audit(args) -> int:
+    from repro.audit import (
+        DEFAULT_KEY,
+        Transcript,
+        prove,
+        replay,
+        verify_transcript,
+    )
+
+    key = bytes.fromhex(args.key) if args.key else DEFAULT_KEY
+    if args.action == "record":
+        service = ConsensusService(_make_spec(args))
+        value = _parse_value(args.value, args.l_bits)
+        result, transcript = service.record(value, key=key)
+        transcript.save(args.out)
+        print("recorded   : %d journal entries -> %s"
+              % (len(transcript.entries), args.out))
+        print("digest     : %s" % transcript.digest())
+        print("consistent : %s" % result.consistent)
+        print("valid      : %s" % result.valid)
+        print("total bits : %d" % result.total_bits)
+        return 0 if result.consistent and result.valid else 1
+    transcript = Transcript.load(args.transcript)
+    if args.action == "verify":
+        report = verify_transcript(transcript, key=key)
+        print("verified   : %s" % report.ok)
+        print("entries    : %d checked" % report.checked)
+        if not report.ok:
+            where = (
+                "entry %d" % report.failed_index
+                if report.failed_index is not None
+                else "seal/header"
+            )
+            print("failed at  : %s" % where)
+            print("reason     : %s" % report.reason)
+        _write_report(args.json, report.to_wire())
+        return 0 if report.ok else 1
+    if args.action == "replay":
+        report = replay(transcript, key=key)
+        print("verified   : %s" % report.verify.ok)
+        print("journal    : %s"
+              % ("match" if report.journal_match else "DIVERGED"))
+        print("result     : %s"
+              % ("match" if report.divergence.identical else "DIVERGED"))
+        print("deviations : %d" % len(report.deviations))
+        if report.first_journal_divergence is not None:
+            div = report.first_journal_divergence
+            print("first journal divergence: entry %s field %s"
+                  % (div["index"], div["field"]))
+        if report.divergence.first is not None:
+            print("first result divergence : %s"
+                  % report.divergence.first.detail)
+        _write_report(args.json, report.to_wire())
+        return 0 if report.ok else 1
+    proof = prove(transcript, key=key)
+    print("verified   : %s" % proof.verified)
+    print("replay     : journal %s, result %s"
+          % ("match" if proof.journal_match else "DIVERGED",
+             "match" if proof.result_match else "DIVERGED"))
+    print("culprits   : %s"
+          % (",".join(str(pid) for pid in proof.culprits) or "none"))
+    print("claimed    : %s"
+          % (",".join(str(pid) for pid in proof.claimed_faulty) or "none"))
+    print("digest     : %s" % proof.transcript_digest)
+    _write_report(args.json, proof.to_wire())
+    return 0 if proof.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sim",
@@ -498,6 +580,33 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stop", help="drain and stop a running server")
     endpoint(p)
     p.set_defaults(func=cmd_stop)
+
+    p = sub.add_parser(
+        "audit",
+        help="record / verify / replay / prove authenticated "
+        "transcripts (docs/AUDIT.md)",
+    )
+    p.add_argument("action",
+                   choices=["record", "verify", "replay", "prove"],
+                   help="record runs an instance and saves its "
+                   "transcript; verify checks the authentication tags; "
+                   "replay re-executes it on the forced-scalar "
+                   "reference engine; prove names the provably faulty "
+                   "pids")
+    common(p)
+    p.add_argument("--d-bits", type=int, default=None,
+                   help="generation size (default: paper-optimal)")
+    p.add_argument("--out", default="transcript.json",
+                   help="record: transcript output path")
+    p.add_argument("--transcript", default="transcript.json",
+                   help="verify/replay/prove: transcript path")
+    p.add_argument("--key", default=None,
+                   help="hex-encoded HMAC master key (default: the "
+                   "built-in demo key)")
+    p.add_argument("--json", default=None,
+                   help="verify/replay/prove: also write the full "
+                   "machine-readable report to this path")
+    p.set_defaults(func=cmd_audit)
     return parser
 
 

@@ -84,6 +84,7 @@ class MultiValuedConsensus:
         parts_cache: Optional[Dict[int, List[List[int]]]] = None,
         encode_cache: Optional[Dict[tuple, List[List[int]]]] = None,
         arena=None,
+        journal: bool = False,
     ):
         """Set up one deployment.
 
@@ -113,6 +114,10 @@ class MultiValuedConsensus:
                 Default: built lazily on the first vectorized
                 generation (:meth:`ensure_arena`) — forced-scalar runs
                 never build one.
+            journal: when True the network records every delivered
+                :class:`~repro.network.message.Message` (the raw
+                material of :mod:`repro.audit` transcripts); metering is
+                unchanged either way.
         """
         self.config = config
         #: When True (the default), failure-free generations run through
@@ -138,7 +143,7 @@ class MultiValuedConsensus:
             )
         self.meter = meter if meter is not None else BitMeter()
         self.graph = DiagnosisGraph(config.n)
-        self.network = SyncNetwork(config.n, self.meter)
+        self.network = SyncNetwork(config.n, self.meter, journal=journal)
         self.code = code if code is not None else config.make_code()
         self._parts_cache: Dict[int, List[List[int]]] = (
             parts_cache if parts_cache is not None else {}

@@ -454,6 +454,51 @@ class CohortContext:
         return self.arena.exchange_view()
 
 
+def _journal_symbol_round(
+    ctx: "CohortContext",
+    network,
+    struct: "_GraphStructure",
+    ref_row: Sequence[int],
+    faulty_sends: Sequence[Tuple[int, int, object]],
+    sym_tag: str,
+) -> None:
+    """Materialize one symbol round on a journalling network.
+
+    The cohort lanes normally collapse the round into one
+    ``charge_round`` (value-independent accounting) — which a
+    journalling network refuses, because the journal must observe real
+    messages.  This fallback reproduces the engine's exact traffic
+    instead: one honest batch over the live trusted edges (each sender's
+    own codeword symbol, ``ref_row``), one faulty batch of the raw hook
+    payloads in scalar hook order, then a single ``deliver_arrays``.
+    The meter Counter sums and the per-round-sorted journal are
+    byte-identical to the forced-scalar reference; only the collapsed
+    charge is traded for the two batched sends.
+    """
+    mask = struct.mask
+    if ctx.controlled_sorted:
+        mask = mask.copy()
+        mask[ctx.controlled_sorted, :] = False
+    senders, receivers = np.nonzero(mask)
+    if senders.shape[0]:
+        if ctx._dtype is object:
+            payloads = [ref_row[s] for s in senders.tolist()]
+        else:
+            payloads = np.asarray(ref_row, dtype=np.int64)[senders]
+        network.send_many(
+            senders, receivers, payloads, bits=ctx.c, tag=sym_tag
+        )
+    if faulty_sends:
+        network.send_many(
+            [s for s, _, _ in faulty_sends],
+            [r for _, r, _ in faulty_sends],
+            [p for _, _, p in faulty_sends],
+            bits=ctx.c,
+            tag=sym_tag,
+        )
+    network.deliver_arrays()
+
+
 class _InstanceRun:
     """One cohort instance's generation loop over the shared context."""
 
@@ -507,6 +552,11 @@ class _InstanceRun:
         cw_runs = self.cw_runs
         row_of = None
         cw = None
+        # A journalling network must observe materialized messages, so
+        # the symbol round's charge_round collapse is replaced by the
+        # engine's real two-batch traffic (see _journal_symbol_round).
+        journalling = consensus.network.journal is not None
+        faulty_sends: List[Tuple[int, int, object]] = []
 
         # -- lines 1(a)-1(b): the symbol round --------------------------
         # Honest traffic is value-independent accounting; faulty live
@@ -534,6 +584,10 @@ class _InstanceRun:
                         missing.add((f, r))
                         m_false.append((f, r))
                         continue
+                    if journalling:
+                        # Raw hook return: the engine sends invalid
+                        # payloads too (charged, rejected on receipt).
+                        faulty_sends.append((f, r, payload))
                     n_sent += 1
                     if is_exact_int(payload) and 0 <= payload < limit:
                         payload = int(payload)
@@ -548,9 +602,23 @@ class _InstanceRun:
                         m_false.append((f, r))
         else:
             n_sent = struct.fab_sent
-        consensus.network.charge_round(
-            sym_tag, struct.honest_edges + n_sent, ctx.c
-        )
+            if journalling:
+                # Hooks skipped: every live faulty sender conforms and
+                # sends its own codeword symbol to each trusted peer.
+                faulty_sends = [
+                    (f, r, cw_runs[f][g][f])
+                    for f, recips in struct.fab_recips.items()
+                    for r in recips
+                ]
+        if journalling:
+            _journal_symbol_round(
+                ctx, consensus.network, struct, self.ref_runs[g],
+                faulty_sends, sym_tag,
+            )
+        else:
+            consensus.network.charge_round(
+                sym_tag, struct.honest_edges + n_sent, ctx.c
+            )
 
         # -- steady lane: fully conforming generation -------------------
         # No payload deviated and no further hook can fire: replay the
@@ -1164,10 +1232,25 @@ def run_cohort_instance(
                 base_bool = struct.base_bool
                 controlled_sorted = ctx.controlled_sorted
                 mv_fire = plan.mv_fire
+                journalling = network.journal is not None
                 while g < generations:
                     extras["generation"] = g
                     sym_tag, m_tag, det_tag = ctx.tags_for(g)
-                    network.charge_round(sym_tag, sym_count, c)
+                    if journalling:
+                        # This lane is hook-free (every live faulty
+                        # sender conforms), so the materialized faulty
+                        # batch carries each sender's own symbol.
+                        _journal_symbol_round(
+                            ctx, network, struct, run.ref_runs[g],
+                            [
+                                (f, r, run.cw_runs[f][g][f])
+                                for f, recips in struct.fab_recips.items()
+                                for r in recips
+                            ],
+                            sym_tag,
+                        )
+                    else:
+                        network.charge_round(sym_tag, sym_count, c)
                     if mv_fire:
                         view = consensus._make_view()
                         for i in controlled_sorted:

@@ -301,14 +301,20 @@ class AsyncExecutor(Executor):
         return self._pool
 
     async def run_async(
-        self, service, specs: Sequence[InstanceSpec]
+        self, service, specs: Sequence[InstanceSpec], transcript=None
     ) -> List[ConsensusResult]:
-        """Await the batch from an event loop without blocking it."""
+        """Await the batch from an event loop without blocking it.
+
+        ``transcript`` is an optional
+        :class:`~repro.audit.TranscriptRecorder`, forwarded to the
+        local batching path — recording stays on the single worker
+        thread, so it serializes with every other batch of this
+        executor (the arena contract)."""
         specs = list(specs)
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(
             self._ensure_pool(),
-            lambda: service._run_many_local(specs),
+            lambda: service._run_many_local(specs, transcript=transcript),
         )
 
     def run(self, service, specs):

@@ -147,6 +147,7 @@ class ConsensusService:
         self,
         adversary: Adversary,
         meter: Optional[BitMeter] = None,
+        journal: bool = False,
     ) -> MultiValuedConsensus:
         """A fresh per-instance engine wired to this service's shared
         read-only state (code tables, part splits, encode cache) and,
@@ -166,6 +167,7 @@ class ConsensusService:
             parts_cache=self._parts_cache,
             encode_cache=self._encode_cache,
             arena=arena,
+            journal=journal,
         )
 
     def parts_for(self, value: int) -> List[List[int]]:
@@ -195,6 +197,7 @@ class ConsensusService:
         faulty: Optional[Sequence[int]] = None,
         adversary: Optional[Adversary] = None,
         meter: Optional[BitMeter] = None,
+        transcript=None,
     ) -> ConsensusResult:
         """Run one consensus instance.
 
@@ -204,6 +207,13 @@ class ConsensusService:
         the canonical attack registry; passing a live ``adversary``
         object bypasses the registry entirely (such instances cannot be
         described to a process executor).
+
+        ``transcript`` is an optional
+        :class:`~repro.audit.TranscriptRecorder`: the engine journals
+        every delivered message and the recorder captures an
+        authenticated :class:`~repro.audit.Transcript` of the run.
+        Recording requires a declarative instance (a live ``adversary``
+        object cannot be replayed from the transcript alone).
 
         Always executes a real engine — byte-identical to
         ``MultiValuedConsensus(config, adversary).run(inputs)`` but with
@@ -216,13 +226,55 @@ class ConsensusService:
                 "attack/seed/faulty overrides conflict with a live "
                 "adversary object; pass one or the other"
             )
+        if adversary is not None and transcript is not None:
+            raise ValueError(
+                "transcript recording needs a declarative instance; a "
+                "live adversary object cannot be replayed from the "
+                "transcript alone"
+            )
         instance = self._coerce(
             inputs, attack=attack, seed=seed, faulty=faulty
         )
         if adversary is None:
             adversary = instance.resolve(self.spec).make_adversary()
-        engine = self._make_engine(adversary, meter=meter)
-        return engine.run(list(instance.inputs))
+        engine = self._make_engine(
+            adversary, meter=meter, journal=transcript is not None
+        )
+        result = engine.run(list(instance.inputs))
+        if transcript is not None:
+            transcript.capture(
+                self.spec, instance, engine.network.journal, result
+            )
+        return result
+
+    def record(
+        self,
+        inputs: InstanceLike,
+        attack: Optional[str] = None,
+        seed: Optional[int] = None,
+        faulty: Optional[Sequence[int]] = None,
+        key: Optional[bytes] = None,
+    ):
+        """Run one instance with transcript recording; returns
+        ``(result, transcript)``.
+
+        Convenience wrapper over :meth:`run` with a fresh
+        :class:`~repro.audit.TranscriptRecorder` (``key`` overrides the
+        demo signing key).  See ``docs/AUDIT.md``.
+        """
+        from repro.audit import TranscriptRecorder
+
+        recorder = (
+            TranscriptRecorder() if key is None else TranscriptRecorder(key)
+        )
+        result = self.run(
+            inputs,
+            attack=attack,
+            seed=seed,
+            faulty=faulty,
+            transcript=recorder,
+        )
+        return result, recorder.transcript
 
     # -- batch API ----------------------------------------------------------
 
@@ -255,6 +307,7 @@ class ConsensusService:
         self,
         instances: Sequence[InstanceLike],
         executor=None,
+        transcript=None,
     ) -> List[ConsensusResult]:
         """Run a batch of independent consensus instances.
 
@@ -269,8 +322,24 @@ class ConsensusService:
                 :class:`~repro.service.executors.ProcessExecutor`)
                 shards the batch over worker processes, each worker
                 batching its shard the same way.
+            transcript: optional
+                :class:`~repro.audit.TranscriptRecorder`; captures one
+                authenticated transcript per instance, in order.
+                Recording is in-process only (the journals live in this
+                process), so it composes with the serial executor alone.
         """
         specs = [self._coerce(instance) for instance in instances]
+        if transcript is not None:
+            from repro.service.executors import SerialExecutor
+
+            if executor is not None and executor != "serial" and not (
+                isinstance(executor, SerialExecutor)
+            ):
+                raise ValueError(
+                    "transcript recording runs in-process; use the "
+                    "serial executor (got %r)" % (executor,)
+                )
+            return self._run_many_local(specs, transcript=transcript)
         if executor is None:
             return self._run_many_local(specs)
         if isinstance(executor, str):
@@ -331,15 +400,19 @@ class ConsensusService:
         )
 
     def _run_many_local(
-        self, specs: Sequence[InstanceSpec]
+        self, specs: Sequence[InstanceSpec], transcript=None
     ) -> List[ConsensusResult]:
         results: List[Optional[ConsensusResult]] = [None] * len(specs)
         n = self.config.n
+        journal = transcript is not None
         plan: List[Tuple[int, InstanceSpec, Adversary, bool, bool]] = []
         for idx, instance in enumerate(specs):
             adversary = instance.resolve(self.spec).make_adversary()
+            # Cloned results are priced, not executed: there is no
+            # journal to authenticate, so recording disables cloning.
             clonable = (
-                self.reuse_results
+                not journal
+                and self.reuse_results
                 and self.spec.batch_generations
                 and self._backend_error_free
                 and not adversary.faulty
@@ -364,6 +437,7 @@ class ConsensusService:
             plan.append((idx, instance, adversary, clonable, cohortable))
         self._prewarm_encodes(plan)
         for idx, instance, adversary, clonable, cohortable in plan:
+            engine = None
             if clonable:
                 results[idx] = self._run_or_clone(instance, adversary)
             elif cohortable:
@@ -375,13 +449,21 @@ class ConsensusService:
                         arena=self._ensure_arena(),
                     )
                     self._cohorts[key] = ctx
-                engine = self._make_engine(adversary)
+                engine = self._make_engine(adversary, journal=journal)
                 results[idx] = run_cohort_instance(
                     ctx, engine, instance.inputs
                 )
             else:
-                engine = self._make_engine(adversary)
+                engine = self._make_engine(adversary, journal=journal)
                 results[idx] = engine.run(list(instance.inputs))
+            if journal:
+                assert engine is not None  # cloning is disabled above
+                transcript.capture(
+                    self.spec,
+                    instance,
+                    engine.network.journal,
+                    results[idx],
+                )
         return results  # type: ignore[return-value]
 
     def _prewarm_encodes(self, plan) -> None:

@@ -167,6 +167,7 @@ class ServingClient:
         seed: Optional[int] = None,
         faulty: Optional[Sequence[int]] = None,
         spec: Optional[RunSpec] = None,
+        transcript: bool = False,
     ) -> ConsensusResult:
         """Submit one instance and block for its result.
 
@@ -176,9 +177,23 @@ class ServingClient:
         :class:`InstanceSpec`; ``spec`` targets a non-default
         deployment.  The decoded result is field-for-field equal to a
         direct in-process ``run_many``.
+
+        With ``transcript=True`` the server records the run and the
+        call returns ``(result, Transcript)`` — the authenticated
+        journal :mod:`repro.audit` can verify, replay and prove
+        against (see ``docs/AUDIT.md``).
         """
         payload = self._submit_payload(inputs, attack, seed, faulty, spec)
-        return result_from_wire(self._request(payload)["result"])
+        if not transcript:
+            return result_from_wire(self._request(payload)["result"])
+        payload["transcript"] = True
+        response = self._request(payload)
+        from repro.audit import Transcript
+
+        return (
+            result_from_wire(response["result"]),
+            Transcript.from_wire(response["transcript"]),
+        )
 
     def submit_many(
         self,

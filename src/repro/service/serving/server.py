@@ -251,6 +251,7 @@ class ConsensusServer:
         seed: Optional[int] = None,
         faulty: Optional[Sequence[int]] = None,
         spec: Optional[RunSpec] = None,
+        transcript: bool = False,
     ) -> ConsensusResult:
         """Admit one instance and await its result.
 
@@ -259,6 +260,14 @@ class ConsensusServer:
         every processor holds); ``spec`` targets a non-default
         deployment.  The coroutine resolves when the request's cohort
         has flushed — byte-identical to a direct ``run_many``.
+
+        With ``transcript=True`` the request is recorded: it executes
+        individually (recording is per-instance; it still runs on the
+        executor's single worker thread, serialized with batched
+        flushes) and the coroutine resolves to ``(result,
+        Transcript)`` — the authenticated journal ``repro-sim audit``
+        can verify, replay and prove against.  The result itself stays
+        byte-identical to the batched path.
 
         Raises:
             QueueFullError: the admission queue is at capacity.
@@ -282,6 +291,8 @@ class ConsensusServer:
         except (TypeError, ValueError) as exc:
             self.stats.record_rejection(InvalidRequestError.code)
             raise InvalidRequestError(str(exc)) from exc
+        if transcript:
+            return await self._submit_recorded(spec, instance)
         future: "asyncio.Future[ConsensusResult]" = (
             asyncio.get_running_loop().create_future()
         )
@@ -297,6 +308,23 @@ class ConsensusServer:
         if capped:
             self._kick.set()
         return await future
+
+    async def _submit_recorded(self, spec: RunSpec, instance: InstanceSpec):
+        """Run one admitted instance with transcript recording; returns
+        ``(result, Transcript)``.  Bypasses the micro-batch queue but
+        not the worker thread, so it never interleaves with a flush."""
+        from repro.audit import TranscriptRecorder
+
+        service = self.service_for(spec)
+        recorder = TranscriptRecorder()
+        enqueued = time.monotonic()
+        started = time.perf_counter()
+        [result] = await self._executor.run_async(
+            service, [instance], transcript=recorder
+        )
+        self.stats.record_flush(1, time.perf_counter() - started)
+        self.stats.record_latency(time.monotonic() - enqueued)
+        return result, recorder.transcript
 
     # -- the flush loop -----------------------------------------------------
 
@@ -482,6 +510,7 @@ class ConsensusServer:
 
     async def _handle_submit(self, message: dict, respond) -> None:
         request_id = message.get("id")
+        want_transcript = bool(message.get("transcript"))
         try:
             try:
                 spec = (
@@ -513,17 +542,24 @@ class ConsensusServer:
                 raise InvalidRequestError(
                     "malformed submit payload: %s" % exc
                 ) from exc
-            result = await self.submit(inputs, spec=spec, **overrides)
+            if want_transcript:
+                result, transcript = await self.submit(
+                    inputs, spec=spec, transcript=True, **overrides
+                )
+            else:
+                result = await self.submit(inputs, spec=spec, **overrides)
+                transcript = None
         except AdmissionError as exc:
             await respond(_error(request_id, exc))
         else:
-            await respond(
-                {
-                    "id": request_id,
-                    "ok": True,
-                    "result": result_to_wire(result),
-                }
-            )
+            payload = {
+                "id": request_id,
+                "ok": True,
+                "result": result_to_wire(result),
+            }
+            if transcript is not None:
+                payload["transcript"] = transcript.to_wire()
+            await respond(payload)
 
     async def _shutdown_from_op(self) -> None:
         """The TCP ``shutdown`` op: drain, then close the listener."""

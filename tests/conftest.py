@@ -33,3 +33,40 @@ def assert_error_free(result, expected=None):
 @pytest.fixture
 def honest_adversary():
     return Adversary()
+
+
+class AuditedService:
+    """A :class:`~repro.service.service.ConsensusService` wrapper whose
+    every run is audited end to end: the run is recorded to an
+    authenticated transcript, every tag is verified, and the recording
+    is replayed on the forced-scalar reference engine with journal and
+    result byte-identity asserted before the result is returned.
+
+    Declarative instances only (attack/seed/faulty overrides) — live
+    adversary objects cannot be replayed from a transcript.
+    """
+
+    def __init__(self, spec):
+        from repro.service import ConsensusService
+
+        self.service = ConsensusService(spec)
+        self.spec = self.service.spec
+
+    def run(self, inputs, **overrides):
+        from repro.audit import replay
+
+        result, transcript = self.service.record(inputs, **overrides)
+        report = replay(transcript)
+        assert report.verify.ok, report.verify.reason
+        assert report.journal_match, report.first_journal_divergence
+        assert report.divergence.identical, report.divergence.first
+        return result
+
+
+@pytest.fixture
+def audited_service():
+    """Factory fixture: ``audited_service(spec)`` builds a service that
+    records, verifies and replay-checks every run it serves (see
+    :class:`AuditedService`; adopted by ``tests/test_audit.py`` and
+    available to any module that wants its runs certified)."""
+    return AuditedService

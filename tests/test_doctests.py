@@ -5,9 +5,13 @@ documentation; this keeps them honest.
 """
 
 import doctest
+import sys
 
 import pytest
 
+import repro.audit.compare
+import repro.audit.replay
+import repro.audit.transcript
 import repro.broadcast_bit.interface
 import repro.coding.gf
 import repro.coding.interleaved
@@ -26,6 +30,11 @@ import repro.service.serving.stats
 import repro.service.serving.wire
 
 MODULES = [
+    # repro.audit re-exports compare()/replay() under the submodule
+    # names, so the modules are fetched from sys.modules directly.
+    sys.modules["repro.audit.compare"],
+    sys.modules["repro.audit.replay"],
+    repro.audit.transcript,
     repro.broadcast_bit.interface,
     repro.coding.gf,
     repro.coding.reed_solomon,
