@@ -43,8 +43,12 @@ from repro.processors.adversary import Adversary, GlobalView
 
 #: Hooks whose deviations are observable protocol misbehavior.  Input
 #: substitution is excluded (see module docstring); signature forgery
-#: outcomes are a substrate event, not a message.
-_UNPROVABLE_HOOKS = frozenset({"input_value", "forge_signature"})
+#: outcomes are a substrate event, not a message; a rigged common coin
+#: (``coin_reveal``) is a property of the shared coin dealer, not of any
+#: one processor, so it cannot convict a pid.
+_UNPROVABLE_HOOKS = frozenset(
+    {"input_value", "forge_signature", "coin_reveal"}
+)
 
 
 @dataclass(frozen=True)
@@ -84,6 +88,10 @@ class DeviationRecorder(Adversary):
         super().__init__(sorted(inner.faulty))
         self.inner = inner
         self.deviations: List[Deviation] = []
+        # Fault-plan adversaries attack through the network: forward the
+        # plan so the replay engine installs the identical compiled
+        # schedule (the journal would diverge otherwise).
+        self.fault_plan = getattr(inner, "fault_plan", None)
 
     def _note(
         self,
@@ -226,6 +234,31 @@ class DeviationRecorder(Adversary):
         )
         return sent
 
+    def est_value(self, pid, recipient, honest_est, round_index, instance,
+                  view):
+        sent = self.inner.est_value(
+            pid, recipient, honest_est, round_index, instance, view
+        )
+        self._note(pid, "est_value", instance, recipient, honest_est, sent)
+        return sent
+
+    def aux_value(self, pid, recipient, honest_aux, round_index, instance,
+                  view):
+        sent = self.inner.aux_value(
+            pid, recipient, honest_aux, round_index, instance, view
+        )
+        self._note(pid, "aux_value", instance, recipient, honest_aux, sent)
+        return sent
+
+    def coin_reveal(self, instance, round_index, honest_coin, view):
+        sent = self.inner.coin_reveal(
+            instance, round_index, honest_coin, view
+        )
+        # The coin dealer is not a processor: recorded (pid -1) but
+        # unprovable (see _UNPROVABLE_HOOKS).
+        self._note(-1, "coin_reveal", instance, None, honest_coin, sent)
+        return sent
+
     def forge_signature(self, forger, victim, message, view: GlobalView):
         return self.inner.forge_signature(forger, victim, message, view)
 
@@ -294,6 +327,34 @@ class CulpabilityProof:
             "transcript_digest": self.transcript_digest,
             "deviations": [d.to_wire() for d in self.deviations],
         }
+
+
+def _fault_deviations(schedule) -> List[Deviation]:
+    """Fold a replayed fault schedule's event log into deviations.
+
+    Network-level faults never pass through an adversary hook, so the
+    recorder cannot see them; the schedule's deterministic event log is
+    the evidence instead.  Events are aggregated per (sender, kind) —
+    the sender of a faulted message is the culpable processor (registry
+    timing attacks scope their rules to faulty senders).
+    """
+    if schedule is None:
+        return []
+    counts: Dict[Tuple[int, str], int] = {}
+    for event in schedule.events:
+        key = (event.sender, event.kind)
+        counts[key] = counts.get(key, 0) + 1
+    return [
+        Deviation(
+            pid=sender,
+            hook="fault:%s" % kind,
+            generation=None,
+            recipient=None,
+            honest="delivered",
+            sent="%s x%d" % (kind, count),
+        )
+        for (sender, kind), count in sorted(counts.items())
+    ]
 
 
 def _journal_divergence(
@@ -368,13 +429,16 @@ def replay(
     result = engine.run(list(transcript.instance.inputs))
     journal = engine.network.journal
     first = _journal_divergence(transcript.entries, journal)
+    deviations = list(recorder.deviations) + _fault_deviations(
+        engine.network.fault_schedule
+    )
     return ReplayReport(
         verify=verified,
         result=result,
         journal_match=first is None,
         first_journal_divergence=first,
         divergence=compare(transcript.result, result),
-        deviations=tuple(recorder.deviations),
+        deviations=tuple(deviations),
     )
 
 

@@ -4,7 +4,7 @@ Algorithm 1 disseminates all of its control information (M vectors,
 Detected flags, diagnosis symbols, Trust vectors) through an error-free
 1-bit Byzantine broadcast the paper treats as a black box of cost ``B``
 bits per broadcast bit (``B = Θ(n²)`` for the bit-optimal algorithms it
-cites).  Four interchangeable backends implement the same contract:
+cites).  Five interchangeable backends implement the same contract:
 
 * :class:`~repro.broadcast_bit.ideal.AccountedIdealBroadcast` — behaves as
   a correct broadcast and *charges* a configurable ``B(n)``; reproduces the
@@ -19,6 +19,10 @@ cites).  Four interchangeable backends implement the same contract:
 * :class:`~repro.broadcast_bit.dolev_strong.DolevStrongBroadcast` — an
   authenticated, probabilistically-correct broadcast built on simulated
   pseudo-signatures, enabling the paper's §4 variant for ``t >= n/3``.
+* :class:`~repro.broadcast_bit.mostefaoui.MostefaouiBroadcast` — a
+  randomized common-coin broadcast in the Mostefaoui-Raynal/Ben-Or
+  style (EST/AUX phases, ``bin_values`` thresholds); deterministic
+  safety, probabilistic round count metered per round.
 """
 
 from repro.broadcast_bit.dolev_strong import (
@@ -28,6 +32,12 @@ from repro.broadcast_bit.dolev_strong import (
 from repro.broadcast_bit.eig import EIGBroadcast
 from repro.broadcast_bit.ideal import AccountedIdealBroadcast
 from repro.broadcast_bit.interface import BroadcastBackend, BroadcastStats
+from repro.broadcast_bit.mostefaoui import (
+    CommonCoin,
+    MostefaouiBroadcast,
+    RiggedCoin,
+    SeededCoin,
+)
 from repro.broadcast_bit.phase_king import PhaseKingBroadcast, phase_king_bits
 
 __all__ = [
@@ -39,4 +49,8 @@ __all__ = [
     "EIGBroadcast",
     "DolevStrongBroadcast",
     "BernoulliForgingAdversary",
+    "MostefaouiBroadcast",
+    "CommonCoin",
+    "SeededCoin",
+    "RiggedCoin",
 ]

@@ -25,11 +25,11 @@ decides the default 0.
 
 from __future__ import annotations
 
-import random
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.broadcast_bit.interface import BroadcastBackend
 from repro.processors.adversary import Adversary
+from repro.utils.rng import derive_rng
 
 #: A simulated signature chain: the bit plus the ordered signer list.
 Chain = Tuple[int, Tuple[int, ...]]
@@ -46,7 +46,10 @@ class BernoulliForgingAdversary(Adversary):
     def __init__(self, faulty: Sequence[int], kappa: int = 16, seed: int = 0):
         super().__init__(faulty)
         self.kappa = kappa
-        self.rng = random.Random(seed)
+        # Derived through the shared seeded-RNG utility, so one master
+        # seed reproduces the forgery lottery and the mostefaoui common
+        # coin together (see repro.utils.rng).
+        self.rng = derive_rng(seed, "dolev_strong", "forgery")
         self.forgeries_attempted = 0
         self.forgeries_succeeded = 0
 

@@ -19,6 +19,7 @@ from repro.broadcast_bit.dolev_strong import DolevStrongBroadcast
 from repro.broadcast_bit.eig import EIGBroadcast
 from repro.broadcast_bit.ideal import AccountedIdealBroadcast, default_b
 from repro.broadcast_bit.interface import BroadcastBackend
+from repro.broadcast_bit.mostefaoui import MostefaouiBroadcast
 from repro.broadcast_bit.phase_king import PhaseKingBroadcast
 from repro.coding.interleaved import make_symbol_code
 from repro.coding.reed_solomon import min_symbol_bits
@@ -29,6 +30,7 @@ BACKENDS = {
     "phase_king": PhaseKingBroadcast,
     "eig": EIGBroadcast,
     "dolev_strong": DolevStrongBroadcast,
+    "mostefaoui": MostefaouiBroadcast,
 }
 
 #: Largest directly-supported field width; wider symbols interleave
@@ -62,6 +64,9 @@ class ConsensusConfig:
     backend: str = "ideal"
     default_value: int = 0
     kappa: int = 16
+    #: Seed of the randomized (mostefaoui) backend's common coin;
+    #: ignored by the deterministic backends.
+    coin_seed: int = 0
     allow_t_ge_n3: bool = False
     b_function: Optional[Callable[[int], int]] = field(
         default=None, compare=False
@@ -112,10 +117,25 @@ class ConsensusConfig:
                 % (self.backend, sorted(BACKENDS))
             )
         if self.allow_t_ge_n3 and 3 * self.t >= self.n:
-            if BACKENDS[self.backend].error_free:
+            backend_cls = BACKENDS[self.backend]
+            if backend_cls.error_free:
                 raise ValueError(
                     "t >= n/3 requires a probabilistic backend "
                     "(dolev_strong), not %r" % self.backend
+                )
+            if backend_cls.max_faults(self.n) < self.t:
+                # Not every non-error-free backend escapes the t < n/3
+                # bound: the randomized mostefaoui backend is
+                # probabilistic in *round count*, not in fault budget.
+                raise ValueError(
+                    "backend %r tolerates at most t=%d of n=%d "
+                    "processors, got t=%d"
+                    % (
+                        self.backend,
+                        backend_cls.max_faults(self.n),
+                        self.n,
+                        self.t,
+                    )
                 )
         if self.default_value < 0 or self.default_value >> self.l_bits:
             raise ValueError(
@@ -150,6 +170,8 @@ class ConsensusConfig:
             kwargs["b_function"] = self.b_function
         if self.backend == "dolev_strong":
             kwargs["kappa"] = self.kappa
+        if self.backend == "mostefaoui":
+            kwargs["seed"] = self.coin_seed
         return cls(
             self.n, self.t, meter, adversary, view_provider, **kwargs
         )
@@ -164,6 +186,7 @@ class ConsensusConfig:
         backend: str = "ideal",
         default_value: int = 0,
         kappa: int = 16,
+        coin_seed: int = 0,
         allow_t_ge_n3: bool = False,
         b_function: Optional[Callable[[int], int]] = None,
     ) -> "ConsensusConfig":
@@ -187,6 +210,7 @@ class ConsensusConfig:
             backend=backend,
             default_value=default_value,
             kappa=kappa,
+            coin_seed=coin_seed,
             allow_t_ge_n3=allow_t_ge_n3,
             b_function=b_function,
         )

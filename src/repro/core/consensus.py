@@ -144,6 +144,14 @@ class MultiValuedConsensus:
         self.meter = meter if meter is not None else BitMeter()
         self.graph = DiagnosisGraph(config.n)
         self.network = SyncNetwork(config.n, self.meter, journal=journal)
+        # Adversaries carrying a declarative fault plan (see
+        # repro.faults) attack the network itself: compile and install
+        # the schedule before any traffic moves.  The compiled schedule
+        # is re-derived from (plan, n) alone, so audit replays install
+        # an identical one.
+        fault_plan = getattr(self.adversary, "fault_plan", None)
+        if fault_plan is not None:
+            self.network.install_faults(fault_plan.compile(config.n))
         self.code = code if code is not None else config.make_code()
         self._parts_cache: Dict[int, List[List[int]]] = (
             parts_cache if parts_cache is not None else {}

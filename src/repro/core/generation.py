@@ -440,8 +440,15 @@ class GenerationProtocol:
                 batch.payload_list(),
             ):
                 received[recipient][sender] = self._valid_symbol(payload)
+        symbol_tag = "%s.matching.symbols" % self.tag
         for pid in range(self.n):
             for message in delivery.inboxes[pid]:
+                if message.tag != symbol_tag:
+                    # A delay fault carried this in from an earlier
+                    # round: journaled and metered, but stale to the
+                    # protocol (synchronous receivers only read the
+                    # current round's tag).
+                    continue
                 if not mask[pid, message.sender]:
                     continue  # line 1(b): ignore untrusted senders
                 received[pid][message.sender] = self._valid_symbol(
@@ -880,8 +887,13 @@ class GenerationProtocol:
                 received[recipient, sender] = (
                     _MISSING if symbol is None else symbol
                 )
+        symbol_tag = "%s.matching.symbols" % self.tag
         for pid in range(self.n):
             for message in delivery.inboxes[pid]:
+                if message.tag != symbol_tag:
+                    # Stale traffic a delay fault carried in from an
+                    # earlier round (see _matching_exchange).
+                    continue
                 if not mask[pid, message.sender]:
                     continue  # line 1(b): ignore untrusted senders
                 symbol = self._valid_symbol(message.payload)

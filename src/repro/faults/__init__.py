@@ -1,0 +1,49 @@
+"""Fault-injection subsystem: timing faults and planned strategies.
+
+Byzantine strategies (:mod:`repro.processors.byzantine`) lie about
+*content*; this package attacks *timing and delivery*.  A declarative
+:class:`FaultPlan` (omit / delay / duplicate / partition rules, one
+seed) compiles into a :class:`FaultSchedule` that
+:class:`~repro.network.simulator.SyncNetwork` consults on every edge
+once installed — deterministically, so audit replays re-derive the
+identical fault pattern and fold the schedule's event log into
+culpability proofs.  :class:`PlannedAdversary` adds the multi-phase
+strategy life cycle (``setup_plan`` / ``adjust_strategy`` / corruption
+budgets) that hook-level adaptive attacks build on.
+
+See ``docs/FAULTS.md`` for the fault-model taxonomy and the schema.
+"""
+
+from repro.faults.attacks import (
+    AdaptiveSplitAdversary,
+    FaultPlanAdversary,
+    adaptive_split_adversary,
+    delay_storm_adversary,
+    omit_rounds_adversary,
+)
+from repro.faults.errors import FaultInjectionError
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultDecision,
+    FaultEvent,
+    FaultPlan,
+    FaultRule,
+    FaultSchedule,
+)
+from repro.faults.strategy import PlannedAdversary
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultDecision",
+    "FaultEvent",
+    "FaultInjectionError",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSchedule",
+    "PlannedAdversary",
+    "FaultPlanAdversary",
+    "AdaptiveSplitAdversary",
+    "omit_rounds_adversary",
+    "delay_storm_adversary",
+    "adaptive_split_adversary",
+]

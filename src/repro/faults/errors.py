@@ -1,0 +1,12 @@
+"""Typed errors of the fault-injection subsystem.
+
+:class:`FaultInjectionError` is *defined* in
+:mod:`repro.network.simulator` — the injection sites live there, and the
+simulator must not import this package (the plan/strategy modules import
+the simulator's types) — and re-exported here so fault-layer callers can
+catch it without reaching into the network layer.
+"""
+
+from repro.network.simulator import FaultInjectionError
+
+__all__ = ["FaultInjectionError"]

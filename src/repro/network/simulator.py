@@ -2,10 +2,15 @@
 
 Messages buffered with :meth:`SyncNetwork.send` during a round are delivered
 together by :meth:`SyncNetwork.deliver`, which advances the round counter —
-the standard lockstep synchronous model of the paper.  The network never
-drops, duplicates, reorders within a (sender, receiver) pair, or forges
-messages; Byzantine behaviour lives entirely in *what* faulty processors
-choose to send (see :mod:`repro.processors.byzantine`), not in the network.
+the standard lockstep synchronous model of the paper.  By default the
+network never drops, duplicates, reorders within a (sender, receiver)
+pair, or forges messages; Byzantine behaviour lives entirely in *what*
+faulty processors choose to send (see :mod:`repro.processors.byzantine`),
+not in the network.  Timing faults are opt-in: a compiled
+:class:`repro.faults.FaultSchedule` installed with
+:meth:`SyncNetwork.install_faults` may omit, delay (to a later round),
+or duplicate individual edges — deterministically, from a seed — with
+every decision journalled for audit replay (see ``docs/FAULTS.md``).
 
 Two delivery granularities coexist:
 
@@ -45,6 +50,40 @@ from repro.network.metrics import BitMeter
 
 class NetworkError(RuntimeError):
     """Raised on misuse of the simulator (bad pid, self-send, duplicates)."""
+
+
+class FaultInjectionError(NetworkError):
+    """A fault-injection site was misused; carries round + edge context.
+
+    Every error raised at an injection point (an invalid schedule
+    decision, a conflicting install, accounting shortcuts that cannot
+    coexist with injected faults) is typed, so drivers can distinguish
+    "the fault layer is misconfigured" from plain simulator misuse — and
+    the message always names the round and, when one exists, the edge.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        round_index: int,
+        sender: Optional[int] = None,
+        receiver: Optional[int] = None,
+        kind: Optional[str] = None,
+    ):
+        edge = (
+            " on edge %s->%s" % (sender, receiver)
+            if sender is not None or receiver is not None
+            else ""
+        )
+        fault = " (fault kind %r)" % kind if kind is not None else ""
+        super().__init__(
+            "%s in round %d%s%s" % (reason, round_index, edge, fault)
+        )
+        self.reason = reason
+        self.round_index = round_index
+        self.sender = sender
+        self.receiver = receiver
+        self.kind = kind
 
 
 @dataclass
@@ -98,6 +137,33 @@ class SyncNetwork:
         #: Batched sends are materialized into the journal so the trace is
         #: identical whichever path produced the traffic.
         self.journal: Optional[List[Message]] = [] if journal else None
+        #: Installed fault schedule (see repro.faults), or None for the
+        #: fault-free network.  Duck-typed: anything with a
+        #: ``decide(round_index, sender, receiver, tag)`` method returning
+        #: a decision with ``kind``/``delay``/``copies`` fields works.
+        self.fault_schedule = None
+        #: Delayed messages keyed by the *absolute* round index in which
+        #: they will be delivered; each keeps the round_index it was sent
+        #: in, so journals and audits can see the displacement.
+        self._delayed: Dict[int, List[Message]] = {}
+
+    def install_faults(self, schedule) -> None:
+        """Install a compiled fault schedule on this network.
+
+        Every subsequent :meth:`send`/:meth:`send_many` edge is routed
+        through ``schedule.decide``; the schedule must be installed while
+        the network is quiet (no buffered traffic) and at most once.
+        """
+        if self.fault_schedule is not None:
+            raise FaultInjectionError(
+                "a fault schedule is already installed", self.round_index
+            )
+        if self._pending or self._pending_batches:
+            raise FaultInjectionError(
+                "cannot install a fault schedule with traffic buffered",
+                self.round_index,
+            )
+        self.fault_schedule = schedule
 
     def _check_pid(self, pid: int) -> None:
         if not 0 <= pid < self.n:
@@ -135,8 +201,66 @@ class SyncNetwork:
             tag=tag,
             round_index=self.round_index,
         )
+        if self.fault_schedule is not None:
+            decision = self.fault_schedule.decide(
+                self.round_index, sender, receiver, tag
+            )
+            if decision.kind != "pass":
+                self._apply_fault(message, decision)
+                return
         self.meter.add(tag, bits)
         self._pending.append(message)
+
+    def _apply_fault(self, message: Message, decision) -> None:
+        """Route one scalar message according to a non-pass decision.
+
+        Metering is always "sender pays": an omitted or delayed message
+        is charged in the round it was *sent*, exactly as if it had gone
+        through, so the cost model observed by the meter is independent
+        of what the network did to the traffic.
+        """
+        kind = decision.kind
+        if kind == "omit":
+            self.meter.add(message.tag, message.bits)
+        elif kind == "delay":
+            delay = int(decision.delay)
+            if delay < 1:
+                raise FaultInjectionError(
+                    "delay fault needs delay >= 1, got %d" % delay,
+                    self.round_index,
+                    message.sender,
+                    message.receiver,
+                    kind,
+                )
+            self.meter.add(message.tag, message.bits)
+            self._delayed.setdefault(
+                self.round_index + delay, []
+            ).append(message)
+        elif kind == "duplicate":
+            copies = int(decision.copies)
+            if copies < 1:
+                raise FaultInjectionError(
+                    "duplicate fault needs copies >= 1, got %d" % copies,
+                    self.round_index,
+                    message.sender,
+                    message.receiver,
+                    kind,
+                )
+            self.meter.add(
+                message.tag,
+                message.bits * (1 + copies),
+                messages=1 + copies,
+            )
+            for _ in range(1 + copies):
+                self._pending.append(message)
+        else:
+            raise FaultInjectionError(
+                "unknown fault kind %r" % kind,
+                self.round_index,
+                message.sender,
+                message.receiver,
+                kind,
+            )
 
     def _edge_in_batches(self, tag: str, sender: int, receiver: int) -> bool:
         edges = self._batch_edges.get(tag)
@@ -235,12 +359,26 @@ class SyncNetwork:
                 "duplicate message %r in round %d" % (key, self.round_index)
             )
         self._batch_edges.setdefault(tag, set()).update(unique.tolist())
+        if self.fault_schedule is not None:
+            decisions = [
+                self.fault_schedule.decide(self.round_index, s, r, tag)
+                for s, r in zip(senders.tolist(), receivers.tolist())
+            ]
+            if any(d.kind != "pass" for d in decisions):
+                self._send_many_faulted(
+                    senders, receivers, payloads, bits, tag, decisions
+                )
+                return
+        self._buffer_batch(senders, receivers, payloads, bits, tag)
+
+    def _buffer_batch(self, senders, receivers, payloads, bits, tag) -> None:
         # Carrier form: an integer ndarray stays a packed payload lane
         # (scalar consumers normalize through SymbolBatch.payload_list,
         # so np.int64 never leaks to receiver-side validation); object
         # or bool dtypes fall back to the scalar list form.  A lane that
         # is a view of a caller-owned buffer (an arena slice) is copied —
         # the buffer may be reset before the batch is consumed.
+        count = senders.shape[0]
         if isinstance(payloads, np.ndarray):
             if payloads.dtype == object or payloads.dtype == np.bool_:
                 payloads = payloads.tolist()
@@ -260,6 +398,47 @@ class SyncNetwork:
         # `count` scalar sends of `bits` bits (Counter sums are equal).
         self.meter.add(tag, bits * count, messages=count)
         self._pending_batches.append(batch)
+
+    def _send_many_faulted(
+        self, senders, receivers, payloads, bits, tag, decisions
+    ) -> None:
+        """Split a batch whose edges drew at least one non-pass decision.
+
+        Edges that pass stay batched (one :class:`SymbolBatch`, one meter
+        entry, untouched carrier lane); every faulted edge is
+        materialized into a scalar :class:`Message` and routed through
+        :meth:`_apply_fault`, in edge order, so the journal and meter are
+        deterministic functions of (traffic, schedule).
+        """
+        is_array = isinstance(payloads, np.ndarray)
+        pass_idx = [
+            i for i, decision in enumerate(decisions)
+            if decision.kind == "pass"
+        ]
+        if pass_idx:
+            keep = np.asarray(pass_idx, dtype=np.int64)
+            kept_payloads = (
+                payloads[keep] if is_array
+                else [payloads[i] for i in pass_idx]
+            )
+            self._buffer_batch(
+                senders[keep], receivers[keep], kept_payloads, bits, tag
+            )
+        for i, decision in enumerate(decisions):
+            if decision.kind == "pass":
+                continue
+            payload = payloads[i]
+            if is_array:
+                payload = payload.item()
+            message = Message(
+                sender=int(senders[i]),
+                receiver=int(receivers[i]),
+                payload=payload,
+                bits=bits,
+                tag=tag,
+                round_index=self.round_index,
+            )
+            self._apply_fault(message, decision)
 
     def _materialize_pending_batches(self) -> List[Message]:
         messages: List[Message] = []
@@ -312,6 +491,12 @@ class SyncNetwork:
                 "charge_round with traffic buffered in round %d"
                 % self.round_index
             )
+        if self.fault_schedule is not None:
+            raise FaultInjectionError(
+                "charge_round under an installed fault schedule: "
+                "injected faults require materialized traffic",
+                self.round_index,
+            )
         if self.journal is not None:
             raise NetworkError(
                 "charge_round on a journalling network: the journal "
@@ -334,6 +519,10 @@ class SyncNetwork:
         produced it.
         """
         delivered = self._pending + self._materialize_pending_batches()
+        if self._delayed:
+            # Messages a delay fault carried into this round; each keeps
+            # the round_index it was sent in.
+            delivered = delivered + self._delayed.pop(self.round_index, [])
         inboxes: Dict[int, List[Message]] = {pid: [] for pid in range(self.n)}
         for message in delivered:
             inboxes[message.receiver].append(message)
@@ -353,14 +542,17 @@ class SyncNetwork:
         trace stays identical to the scalar path's.
         """
         inboxes: Dict[int, List[Message]] = {pid: [] for pid in range(self.n)}
-        for message in self._pending:
+        scalar = self._pending
+        if self._delayed:
+            scalar = scalar + self._delayed.pop(self.round_index, [])
+        for message in scalar:
             inboxes[message.receiver].append(message)
         for inbox in inboxes.values():
             inbox.sort(key=lambda m: (m.sender, m.tag))
         batches = list(self._pending_batches)
         if self.journal is not None:
             self._journal_round(
-                self._pending + self._materialize_pending_batches()
+                scalar + self._materialize_pending_batches()
             )
         delivery = RoundDelivery(
             round_index=self.round_index, inboxes=inboxes, batches=batches

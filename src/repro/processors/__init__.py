@@ -19,6 +19,7 @@ from repro.processors.composite import CompositeAdversary
 from repro.processors.registry import (
     ATTACKS,
     FAULT_GRID_ATTACKS,
+    TIMING_FAULT_ATTACKS,
     AttackEntry,
     make_attack,
     normalize_attack,
@@ -39,6 +40,7 @@ from repro.processors.byzantine import (
 __all__ = [
     "ATTACKS",
     "FAULT_GRID_ATTACKS",
+    "TIMING_FAULT_ATTACKS",
     "AttackEntry",
     "make_attack",
     "normalize_attack",

@@ -196,6 +196,55 @@ class Adversary:
         """Value a faulty ``pid`` relays for EIG tree node ``path``."""
         return honest_value
 
+    # -- randomized common-coin backend (Mostefaoui) -------------------------------
+
+    def est_value(
+        self,
+        pid: int,
+        recipient: int,
+        honest_est: int,
+        round_index: int,
+        instance: int,
+        view: GlobalView,
+    ) -> Optional[int]:
+        """EST bit a faulty ``pid`` sends ``recipient`` in BV-broadcast.
+
+        Equivocation allowed; ``None`` = silent (omission).
+        """
+        return honest_est
+
+    def aux_value(
+        self,
+        pid: int,
+        recipient: int,
+        honest_aux: int,
+        round_index: int,
+        instance: int,
+        view: GlobalView,
+    ) -> Optional[int]:
+        """AUX bit a faulty ``pid`` sends ``recipient``.
+
+        Equivocation allowed; ``None`` = silent (omission).
+        """
+        return honest_aux
+
+    def coin_reveal(
+        self,
+        instance: int,
+        round_index: int,
+        honest_coin: int,
+        view: GlobalView,
+    ) -> int:
+        """Common-coin value the adversary imposes for one round.
+
+        Models a corruptible coin dealer: the returned bit *is* the coin
+        every processor sees (the coin stays common — per-processor coin
+        splits are out of model).  After the backend's derandomization
+        cap the hook is ignored, so termination cannot be stalled
+        forever.
+        """
+        return honest_coin
+
     # -- multi-valued broadcast (Section 4) ---------------------------------------
 
     def source_symbol(

@@ -25,6 +25,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.faults.attacks import (
+    adaptive_split_adversary,
+    delay_storm_adversary,
+    omit_rounds_adversary,
+)
 from repro.processors.adversary import Adversary
 from repro.processors.byzantine import (
     CrashAdversary,
@@ -101,6 +106,17 @@ def _build_random(n, t, l_bits, faulty, seed):
     return RandomAdversary(faulty, seed=seed)
 
 
+def _seeded(factory, default_faulty: Callable[[int, int], List[int]]) -> Builder:
+    """Builder for ``factory(faulty, seed=...)`` fault-layer strategies."""
+
+    def build(n, t, l_bits, faulty, seed):
+        if faulty is None:
+            faulty = default_faulty(n, t)
+        return factory(faulty, seed=seed)
+
+    return build
+
+
 ATTACKS: Dict[str, AttackEntry] = {
     entry.name: entry
     for entry in (
@@ -159,6 +175,24 @@ ATTACKS: Dict[str, AttackEntry] = {
             default_faulty=_low,
             summary="seeded chaos monkey: every hook deviates at random",
         ),
+        AttackEntry(
+            name="omit_rounds",
+            build=_seeded(omit_rounds_adversary, _low),
+            default_faulty=_low,
+            summary="network omits every faulty-sender message (timing fault)",
+        ),
+        AttackEntry(
+            name="delay_storm",
+            build=_seeded(delay_storm_adversary, _low),
+            default_faulty=_low,
+            summary="faulty-sender messages arrive one round late (timing fault)",
+        ),
+        AttackEntry(
+            name="adaptive_split",
+            build=_seeded(adaptive_split_adversary, _low),
+            default_faulty=_low,
+            summary="probe, then strike the weakest honest victim on a budget",
+        ),
     )
 }
 
@@ -175,6 +209,17 @@ FAULT_GRID_ATTACKS: Tuple[str, ...] = (
     "false_detect",
     "slow_bleed",
     "trust_poison",
+)
+
+#: The timing-fault grid: strategies that attack message *delivery*
+#: through an installed :class:`repro.faults.FaultPlan` rather than
+#: message content.  Swept separately from :data:`FAULT_GRID_ATTACKS`
+#: (whose expected-bit tables are pinned to the six content attacks):
+#: timing-fault runs stay off the cohort fast path, so their grid
+#: asserts correctness and determinism, not the pinned bit tables.
+TIMING_FAULT_ATTACKS: Tuple[str, ...] = (
+    "omit_rounds",
+    "delay_storm",
 )
 
 #: Historical spellings accepted by older drivers, folded onto canonical

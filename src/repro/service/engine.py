@@ -365,6 +365,10 @@ def execute_consensus(
         consensus.batch_generations
         and consensus.backend.error_free
         and not adversary.faulty
+        # Injected network faults make traffic content-dependent, so
+        # no round may be replayed as bookkeeping (charge_round would
+        # refuse anyway; see FaultInjectionError).
+        and getattr(adversary, "fault_plan", None) is None
         and consensus.graph.is_complete()
     ):
         fast = _FastGenerationState(consensus, parts_by_pid)

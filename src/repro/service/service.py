@@ -416,6 +416,7 @@ class ConsensusService:
                 and self.spec.batch_generations
                 and self._backend_error_free
                 and not adversary.faulty
+                and getattr(adversary, "fault_plan", None) is None
                 and len(instance.inputs) == n
                 and len(set(instance.inputs)) == 1
             )
@@ -427,6 +428,11 @@ class ConsensusService:
                 not clonable
                 and self._cohort_capable
                 and bool(adversary.faulty)
+                # Injected network faults keep a run off the cohort
+                # lanes: the cohort engine replays symbol rounds as
+                # charge_round bookkeeping, which an installed fault
+                # schedule refuses (see FaultInjectionError).
+                and getattr(adversary, "fault_plan", None) is None
                 and len(instance.inputs) == n
                 and len({
                     instance.inputs[pid]

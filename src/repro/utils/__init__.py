@@ -8,6 +8,7 @@ from repro.utils.bits import (
     symbols_to_bytes,
     unpack_symbols,
 )
+from repro.utils.rng import derive_rng, derive_seed
 
 __all__ = [
     "bits_to_int",
@@ -16,4 +17,6 @@ __all__ = [
     "unpack_symbols",
     "bytes_to_symbols",
     "symbols_to_bytes",
+    "derive_rng",
+    "derive_seed",
 ]

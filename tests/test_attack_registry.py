@@ -9,6 +9,7 @@ from repro.analysis import sweeps
 from repro.processors import (
     ATTACKS,
     FAULT_GRID_ATTACKS,
+    TIMING_FAULT_ATTACKS,
     Adversary,
     CrashAdversary,
     FalseDetectionAdversary,
@@ -25,8 +26,9 @@ from repro.processors import (
 class TestRegistryShape:
     def test_canonical_names(self):
         assert sorted(ATTACKS) == [
-            "corrupt", "crash", "equivocate", "false_accuse",
-            "false_detect", "none", "random", "slow_bleed", "trust_poison",
+            "adaptive_split", "corrupt", "crash", "delay_storm",
+            "equivocate", "false_accuse", "false_detect", "none",
+            "omit_rounds", "random", "slow_bleed", "trust_poison",
         ]
 
     def test_fault_grid_is_pinned_subset(self):
@@ -36,6 +38,16 @@ class TestRegistryShape:
             "corrupt", "crash", "equivocate", "false_detect",
             "slow_bleed", "trust_poison",
         ]
+
+    def test_timing_fault_grid(self):
+        assert set(TIMING_FAULT_ATTACKS) <= set(ATTACKS)
+        assert sorted(TIMING_FAULT_ATTACKS) == ["delay_storm", "omit_rounds"]
+        # timing attacks stay out of the pinned content-attack grid
+        assert not set(TIMING_FAULT_ATTACKS) & set(FAULT_GRID_ATTACKS)
+        # every timing attack carries a network fault plan
+        for name in TIMING_FAULT_ATTACKS:
+            adversary = make_attack(name, 7, 2, 64)
+            assert adversary.fault_plan is not None
 
     def test_only_none_is_not_byzantine(self):
         assert [name for name, e in ATTACKS.items() if not e.byzantine] == (
@@ -97,6 +109,11 @@ class TestMakeAttack:
         assert make_attack("slow_bleed", n, t, 64).faulty == set(range(10))
         assert make_attack("random", n, t, 64).faulty == set(range(10))
         assert make_attack("false_accuse", n, t, 64).faulty == set(range(10))
+        assert make_attack("omit_rounds", n, t, 64).faulty == set(range(10))
+        assert make_attack("delay_storm", n, t, 64).faulty == set(range(10))
+        assert make_attack("adaptive_split", n, t, 64).faulty == (
+            set(range(10))
+        )
 
     def test_corrupt_default_matches_sweeps_shape(self):
         adversary = make_attack("corrupt", 7, 2, 64)

@@ -13,6 +13,7 @@ from repro.broadcast_bit import (
     BernoulliForgingAdversary,
     DolevStrongBroadcast,
     EIGBroadcast,
+    MostefaouiBroadcast,
     PhaseKingBroadcast,
     phase_king_bits,
 )
@@ -27,7 +28,9 @@ from repro.processors import Adversary, RandomAdversary
 from repro.processors.adversary import GlobalView
 
 ERROR_FREE_BACKENDS = [AccountedIdealBroadcast, PhaseKingBroadcast, EIGBroadcast]
-ALL_BACKENDS = ERROR_FREE_BACKENDS + [DolevStrongBroadcast]
+# Probabilistic backends: dolev_strong errs (only) when a forgery lands;
+# mostefaoui is probabilistic in *round count* but deterministically safe.
+ALL_BACKENDS = ERROR_FREE_BACKENDS + [DolevStrongBroadcast, MostefaouiBroadcast]
 
 
 def honest_results(backend, outcome):

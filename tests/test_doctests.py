@@ -13,14 +13,17 @@ import repro.audit.compare
 import repro.audit.replay
 import repro.audit.transcript
 import repro.broadcast_bit.interface
+import repro.broadcast_bit.mostefaoui
 import repro.coding.gf
 import repro.coding.interleaved
 import repro.coding.reed_solomon
 import repro.core.consensus
+import repro.faults.plan
 import repro.graphs.cliques
 import repro.graphs.diagnosis_graph
 import repro.network.simulator
 import repro.processors.composite
+import repro.utils.rng
 import repro.service.executors
 import repro.service.service
 import repro.service.serving.batcher
@@ -36,14 +39,17 @@ MODULES = [
     sys.modules["repro.audit.replay"],
     repro.audit.transcript,
     repro.broadcast_bit.interface,
+    repro.broadcast_bit.mostefaoui,
     repro.coding.gf,
     repro.coding.reed_solomon,
     repro.coding.interleaved,
     repro.core.consensus,
+    repro.faults.plan,
     repro.graphs.cliques,
     repro.graphs.diagnosis_graph,
     repro.network.simulator,
     repro.processors.composite,
+    repro.utils.rng,
     repro.service.service,
     repro.service.executors,
     repro.service.serving.batcher,
